@@ -1,0 +1,89 @@
+/// \file bench_kernels_native.cpp
+/// \brief google-benchmark of the kernels' real host performance.
+///
+/// Everything else in bench/ reports *simulated A64FX* time.  This binary
+/// measures what the VLA-instrumented kernels actually cost on the build
+/// machine (wall clock), which bounds how long the simulation benches take
+/// and documents the instrumentation overhead.  It is not a reproduction
+/// artifact.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "support/rng.hpp"
+#include "vla/vla.hpp"
+
+namespace {
+
+using namespace v2d;
+
+std::vector<double> make_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(0.5, 1.5);
+  return v;
+}
+
+void BM_Daxpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vla::Context ctx{vla::VectorArch(512)};
+  const auto x = make_vec(n, 1);
+  auto y = make_vec(n, 2);
+  for (auto _ : state) {
+    linalg::daxpy(ctx, 1.0000001, x, y);
+    benchmark::DoNotOptimize(y.data());
+    (void)ctx.take_counts();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Daxpy)->Arg(1000)->Arg(40000);
+
+void BM_Dprod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vla::Context ctx{vla::VectorArch(512)};
+  const auto x = make_vec(n, 3), y = make_vec(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::dprod(ctx, x, y));
+    (void)ctx.take_counts();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Dprod)->Arg(1000)->Arg(40000);
+
+void BM_StencilRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  vla::Context ctx{vla::VectorArch(512)};
+  const auto cc = make_vec(n, 5), cw = make_vec(n, 6), ce = make_vec(n, 7),
+             cs = make_vec(n, 8), cn = make_vec(n, 9);
+  const auto xc = make_vec(n + 2, 10), xs = make_vec(n, 11),
+             xn = make_vec(n, 12);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    linalg::stencil_row(ctx, cc, cw, ce, cs, cn, xc.data() + 1, xs.data(),
+                        xn.data(), y);
+    benchmark::DoNotOptimize(y.data());
+    (void)ctx.take_counts();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_StencilRow)->Arg(200)->Arg(1000);
+
+void BM_VlaOverhead(benchmark::State& state) {
+  // Plain scalar daxpy for comparison against BM_Daxpy: the gap is the
+  // cost of instrumented VLA execution.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = make_vec(n, 13);
+  auto y = make_vec(n, 14);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += 1.0000001 * x[i];
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_VlaOverhead)->Arg(1000)->Arg(40000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/// \file sedov_radhydro.cpp
+/// \brief Coupled radiation-hydrodynamics: a Sedov-like blast with
+/// radiative energy exchange — the kind of problem V2D was built for.
+///
+/// Each cycle runs a hydro step (dimensionally split HLL), a radiation
+/// step (three implicit BiCGSTAB solves) and the explicit radiation–gas
+/// energy exchange, with all work priced on the simulated A64FX.
+///
+///   ./sedov_radhydro [--nx 48] [--cycles 15] [--kappa 5]
+
+#include <iostream>
+
+#include "hydro/coupling.hpp"
+#include "hydro/euler.hpp"
+#include "hydro/setups.hpp"
+#include "rad/gaussian.hpp"
+#include "rad/radstep.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v2d;
+  Options opt;
+  opt.add("nx", "48", "zones per side");
+  opt.add("cycles", "15", "rad-hydro cycles");
+  opt.add("kappa", "5.0", "total opacity");
+  opt.add("nprx1", "2", "tiles in x1");
+  opt.add("nprx2", "2", "tiles in x2");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("sedov_radhydro");
+    return 1;
+  }
+  const int nx = static_cast<int>(opt.get_int("nx"));
+  const int cycles = static_cast<int>(opt.get_int("cycles"));
+  const double kappa = opt.get_double("kappa");
+
+  const grid::Grid2D g(nx, nx, 0.0, 1.0, 0.0, 1.0);
+  const grid::Decomposition dec(
+      g, mpisim::CartTopology(static_cast<int>(opt.get_int("nprx1")),
+                              static_cast<int>(opt.get_int("nprx2"))));
+  mpisim::ExecModel em(sim::MachineSpec::a64fx(),
+                       {compiler::cray_2103()}, dec.nranks());
+  linalg::ExecContext ctx(vla::VectorArch(512), &em);
+
+  // Gas: Sedov blast in a reflecting box.
+  const hydro::GammaLawEos eos(5.0 / 3.0);
+  hydro::HydroState gas(g, dec);
+  hydro::setup_sedov(gas, eos, 1.0, 0.08);
+  hydro::HydroSolver hydro_solver(g, dec, eos, hydro::HydroBc::Reflecting,
+                                  0.3);
+
+  // Radiation: two species, absorbing material.
+  rad::OpacitySet opac(2);
+  for (int s = 0; s < 2; ++s) {
+    opac.absorption(s) = rad::OpacityLaw::constant(0.3 * kappa);
+    opac.scattering(s) = rad::OpacityLaw::constant(0.7 * kappa);
+  }
+  rad::FldConfig fld_cfg;
+  fld_cfg.include_absorption = true;
+  fld_cfg.exchange_kappa = 0.05;
+  rad::FldBuilder builder(g, dec, 2, opac, fld_cfg);
+  builder.temperature().fill(0.2);
+  rad::RadiationStepper rad_stepper(g, dec, std::move(builder));
+  linalg::DistVector e_rad(g, dec, 2);
+  e_rad.fill(ctx, 0.05);
+
+  std::cout << "Sedov rad-hydro: " << nx << "x" << nx << " zones, "
+            << dec.nranks() << " rank(s), " << cycles << " cycles\n\n";
+  TableWriter table;
+  table.set_columns({"cycle", "t", "dt", "rad iters", "gas energy",
+                     "rad energy", "exchange"});
+
+  double t = 0.0;
+  for (int c = 1; c <= cycles; ++c) {
+    const double dt = hydro_solver.cfl_dt(ctx, gas);
+    hydro_solver.step(ctx, gas, dt);
+    const auto rad_stats = rad_stepper.step(ctx, e_rad, dt);
+    if (!rad_stats.all_converged()) {
+      std::cerr << "radiation solve failed at cycle " << c << '\n';
+      return 1;
+    }
+    const auto exch = hydro::apply_rad_heating(
+        ctx, gas, e_rad, rad_stepper.builder(), eos, dt);
+    t += dt;
+    if (c % 3 == 0 || c == cycles) {
+      table.add_row({TableWriter::integer(c), TableWriter::num(t, 4),
+                     TableWriter::num(dt, 5),
+                     TableWriter::integer(rad_stats.total_iterations()),
+                     TableWriter::num(gas.total_energy(), 5),
+                     TableWriter::num(rad::GaussianPulse::total_energy(e_rad), 5),
+                     TableWriter::num(exch.energy_to_gas, 6)});
+    }
+  }
+  std::cout << table.str();
+  std::cout << "\nsimulated A64FX time (" << em.profile(0).name()
+            << "): " << em.elapsed(0) << " s\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace v2d::core {
+
+void RunConfig::register_options(Options& opt) {
+  opt.add("problem", "gaussian-pulse", "problem name (gaussian-pulse)");
+  opt.add("nx1", "200", "zones in x1");
+  opt.add("nx2", "100", "zones in x2");
+  opt.add("ns", "2", "radiation species");
+  opt.add("steps", "100", "time steps");
+  opt.add("dt", "0.03", "time step size");
+  opt.add("kappa", "10.0", "total (transport) opacity");
+  opt.add("kappa-absorb", "0.0", "absorption opacity");
+  opt.add("kappa-exchange", "0.05", "species exchange opacity");
+  opt.add("limiter", "lp", "flux limiter: none|lp|larsen2|wilson");
+  opt.add("nprx1", "1", "tiles in x1 (NPRX1)");
+  opt.add("nprx2", "1", "tiles in x2 (NPRX2)");
+  opt.add("tol", "1e-8", "solver relative tolerance");
+  opt.add("max-iter", "1000", "solver iteration cap");
+  opt.add("ganged", "1", "use ganged reductions (0|1)");
+  opt.add("precond", "spai0", "preconditioner: identity|jacobi|spai0|spai");
+  opt.add("compilers", "cray",
+          "comma list of profiles: gnu,fujitsu,cray,cray-noopt,clang");
+  opt.add("vector-bits", "512", "SVE vector length (128..2048)");
+  opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
+  opt.add("checkpoint-every", "0", "steps between checkpoints (0 = end only)");
+}
+
+RunConfig RunConfig::from_options(const Options& opt) {
+  RunConfig c;
+  c.problem = opt.get("problem");
+  c.nx1 = static_cast<int>(opt.get_int("nx1"));
+  c.nx2 = static_cast<int>(opt.get_int("nx2"));
+  c.ns = static_cast<int>(opt.get_int("ns"));
+  c.steps = static_cast<int>(opt.get_int("steps"));
+  c.dt = opt.get_double("dt");
+  c.kappa_total = opt.get_double("kappa");
+  c.kappa_absorb = opt.get_double("kappa-absorb");
+  c.exchange_kappa = opt.get_double("kappa-exchange");
+  c.limiter = rad::limiter_from_name(opt.get("limiter"));
+  c.nprx1 = static_cast<int>(opt.get_int("nprx1"));
+  c.nprx2 = static_cast<int>(opt.get_int("nprx2"));
+  c.rel_tol = opt.get_double("tol");
+  c.max_iterations = static_cast<int>(opt.get_int("max-iter"));
+  c.ganged = opt.get_bool("ganged");
+  c.preconditioner = opt.get("precond");
+  c.compilers.clear();
+  std::stringstream ss(opt.get("compilers"));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) c.compilers.push_back(item);
+  }
+  V2D_REQUIRE(!c.compilers.empty(), "need at least one compiler profile");
+  c.vector_bits = static_cast<unsigned>(opt.get_int("vector-bits"));
+  c.checkpoint_path = opt.get("checkpoint");
+  c.checkpoint_every = static_cast<int>(opt.get_int("checkpoint-every"));
+  return c;
+}
+
+}  // namespace v2d::core

@@ -1,0 +1,52 @@
+#pragma once
+/// \file config.hpp
+/// \brief Run-time configuration of a V2D simulation (the paper's knobs).
+
+#include <string>
+#include <vector>
+
+#include "rad/limiter.hpp"
+#include "support/options.hpp"
+
+namespace v2d::core {
+
+struct RunConfig {
+  // --- problem ---
+  std::string problem = "gaussian-pulse";
+  int nx1 = 200;  ///< paper's x1
+  int nx2 = 100;  ///< paper's x2
+  int ns = 2;     ///< radiation species
+  int steps = 100;
+  double dt = 0.03;
+  double kappa_total = 10.0;   ///< transport opacity (uniform)
+  double kappa_absorb = 0.0;   ///< absorption opacity (0 = pure diffusion)
+  double exchange_kappa = 0.05;  ///< species exchange in the coupling solve
+  rad::LimiterKind limiter = rad::LimiterKind::LevermorePomraning;
+
+  // --- decomposition (the paper's NPRX1 / NPRX2) ---
+  int nprx1 = 1;
+  int nprx2 = 1;
+
+  // --- solver ---
+  double rel_tol = 1.0e-8;
+  int max_iterations = 1000;
+  bool ganged = true;
+  std::string preconditioner = "spai0";
+
+  // --- simulated platform ---
+  std::vector<std::string> compilers = {"cray"};  ///< profile short names
+  unsigned vector_bits = 512;
+
+  // --- output ---
+  std::string checkpoint_path;  ///< empty = no checkpoint
+  int checkpoint_every = 0;     ///< steps between checkpoints (0 = end only)
+
+  int nranks() const { return nprx1 * nprx2; }
+
+  /// Register every knob on an Options parser (shared by benches/examples).
+  static void register_options(Options& opt);
+  /// Build from parsed options.
+  static RunConfig from_options(const Options& opt);
+};
+
+}  // namespace v2d::core

@@ -1,0 +1,86 @@
+#pragma once
+/// \file v2d.hpp
+/// \brief The V2D simulation driver: the paper's code under study.
+///
+/// Wires the whole stack together for the radiation test problem: grid +
+/// NPRX1×NPRX2 decomposition, the multi-profile execution pricer, the FLD
+/// builder, the 3-solve radiation stepper, TAU-style per-call-site
+/// profilers (one per compiler profile), and h5lite checkpoints.  Running
+/// `steps` timesteps of the default configuration reproduces the paper's
+/// 300-linear-system workload.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "grid/decomp.hpp"
+#include "grid/grid2d.hpp"
+#include "linalg/dist_vector.hpp"
+#include "linalg/exec_context.hpp"
+#include "mpisim/exec_model.hpp"
+#include "perfmon/profiler.hpp"
+#include "rad/gaussian.hpp"
+#include "rad/radstep.hpp"
+#include "sim/machine.hpp"
+
+namespace v2d::core {
+
+class Simulation {
+public:
+  explicit Simulation(const RunConfig& cfg,
+                      sim::MachineSpec machine = sim::MachineSpec::a64fx());
+
+  const RunConfig& config() const { return cfg_; }
+  const grid::Grid2D& grid() const { return grid_; }
+  const grid::Decomposition& decomp() const { return dec_; }
+  mpisim::ExecModel& exec() { return *em_; }
+  const mpisim::ExecModel& exec() const { return *em_; }
+  linalg::ExecContext& context() { return ctx_; }
+  rad::RadiationStepper& stepper() { return *stepper_; }
+  linalg::DistVector& radiation() { return *e_; }
+  const rad::GaussianPulse& pulse() const { return pulse_; }
+
+  double time() const { return t_; }
+  int steps_taken() const { return step_count_; }
+
+  /// One timestep (3 solves); updates profilers and simulated clocks.
+  rad::StepStats advance();
+
+  /// Run cfg.steps timesteps; returns per-step stats of the last step.
+  void run();
+
+  /// Simulated wall-clock under compiler profile p (the Table I number).
+  double elapsed(std::size_t p) const { return em_->elapsed(p); }
+
+  /// TAU-style profiler for compiler profile p.
+  const perfmon::Profiler& profiler(std::size_t p) const {
+    return profilers_.at(p);
+  }
+
+  /// Relative L2 error against the analytic pulse (meaningful only in the
+  /// unlimited, absorption-free configuration).
+  double analytic_error() const;
+
+  /// Total radiation energy (conserved by the zero-flux discretization,
+  /// up to exchange with matter).
+  double total_energy() const;
+
+  /// Write an h5lite checkpoint (priced as Io work).
+  void checkpoint(const std::string& path);
+
+private:
+  RunConfig cfg_;
+  grid::Grid2D grid_;
+  grid::Decomposition dec_;
+  std::unique_ptr<mpisim::ExecModel> em_;
+  linalg::ExecContext ctx_;
+  std::unique_ptr<rad::RadiationStepper> stepper_;
+  std::unique_ptr<linalg::DistVector> e_;
+  rad::GaussianPulse pulse_;
+  std::vector<perfmon::Profiler> profilers_;
+  double t_ = 0.0;
+  int step_count_ = 0;
+};
+
+}  // namespace v2d::core

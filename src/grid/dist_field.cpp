@@ -1,0 +1,201 @@
+#include "grid/dist_field.hpp"
+
+#include <algorithm>
+
+namespace v2d::grid {
+
+using mpisim::Dir;
+
+DistField::DistField(const Grid2D& grid, const Decomposition& dec, int ns,
+                     int ng)
+    : grid_(&grid), dec_(&dec), ns_(ns), ng_(ng) {
+  V2D_REQUIRE(ns >= 1, "need at least one species");
+  V2D_REQUIRE(ng >= 1, "need at least one ghost layer");
+  data_.resize(static_cast<std::size_t>(dec.nranks()));
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const TileExtent& e = dec.extent(r);
+    const std::size_t n = static_cast<std::size_t>(ns) * (e.ni + 2 * ng) *
+                          (e.nj + 2 * ng);
+    data_[static_cast<std::size_t>(r)].assign(n, 0.0);
+  }
+}
+
+std::ptrdiff_t DistField::stride(int rank) const {
+  return dec_->extent(rank).ni + 2 * ng_;
+}
+
+double* DistField::tile_origin(int rank, int s) {
+  const TileExtent& e = dec_->extent(rank);
+  const std::ptrdiff_t per_species =
+      static_cast<std::ptrdiff_t>(e.ni + 2 * ng_) * (e.nj + 2 * ng_);
+  // origin points at (li=0, lj=0): skip ghost rows and columns.
+  return data_[static_cast<std::size_t>(rank)].data() + per_species * s +
+         stride(rank) * ng_ + ng_;
+}
+
+const double* DistField::tile_origin(int rank, int s) const {
+  return const_cast<DistField*>(this)->tile_origin(rank, s);
+}
+
+TileView DistField::view(int rank, int s) {
+  V2D_REQUIRE(s >= 0 && s < ns_, "species index out of range");
+  const TileExtent& e = dec_->extent(rank);
+  return TileView{tile_origin(rank, s), e.ni, e.nj, ng_, stride(rank)};
+}
+
+const TileView DistField::view(int rank, int s) const {
+  return const_cast<DistField*>(this)->view(rank, s);
+}
+
+double DistField::gget(int s, int gi, int gj) const {
+  const int r = dec_->owner(gi, gj);
+  const TileExtent& e = dec_->extent(r);
+  return view(r, s)(gi - e.i0, gj - e.j0);
+}
+
+void DistField::gset(int s, int gi, int gj, double v) {
+  const int r = dec_->owner(gi, gj);
+  const TileExtent& e = dec_->extent(r);
+  view(r, s)(gi - e.i0, gj - e.j0) = v;
+}
+
+void DistField::fill(double v) {
+  for (auto& buf : data_) std::fill(buf.begin(), buf.end(), v);
+}
+
+std::uint64_t DistField::tile_bytes(int rank) const {
+  return data_[static_cast<std::size_t>(rank)].size() * sizeof(double);
+}
+
+std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
+  std::vector<mpisim::Transfer> transfers;
+  const auto& topo = dec_->topology();
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    // Pull model: each rank copies its neighbours' interface strips into
+    // its own ghosts; the transfer is neighbour → r.
+    for (int d = 0; d < mpisim::kNumDirs; ++d) {
+      const auto dir = static_cast<Dir>(d);
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      const TileExtent& en = dec_->extent(*nb);
+      std::uint64_t bytes = 0;
+      for (int s = 0; s < ns_; ++s) {
+        TileView mine = view(r, s);
+        TileView theirs = view(*nb, s);
+        for (int g = 0; g < ng_; ++g) {
+          switch (dir) {
+            case Dir::West:
+              for (int lj = 0; lj < e.nj; ++lj)
+                mine(-1 - g, lj) = theirs(en.ni - 1 - g, lj);
+              bytes += static_cast<std::uint64_t>(e.nj) * sizeof(double);
+              break;
+            case Dir::East:
+              for (int lj = 0; lj < e.nj; ++lj)
+                mine(e.ni + g, lj) = theirs(g, lj);
+              bytes += static_cast<std::uint64_t>(e.nj) * sizeof(double);
+              break;
+            case Dir::South:
+              for (int li = 0; li < e.ni; ++li)
+                mine(li, -1 - g) = theirs(li, en.nj - 1 - g);
+              bytes += static_cast<std::uint64_t>(e.ni) * sizeof(double);
+              break;
+            case Dir::North:
+              for (int li = 0; li < e.ni; ++li)
+                mine(li, e.nj + g) = theirs(li, g);
+              bytes += static_cast<std::uint64_t>(e.ni) * sizeof(double);
+              break;
+          }
+        }
+      }
+      // West/East halos are grid columns (stride = row length); they pay a
+      // pack/unpack penalty in the cost model.
+      const bool strided = dir == Dir::West || dir == Dir::East;
+      transfers.push_back(mpisim::Transfer{*nb, r, bytes, strided});
+    }
+  }
+  return transfers;
+}
+
+void DistField::apply_bc(BcKind bc) {
+  const auto& topo = dec_->topology();
+  const int gnx1 = grid_->nx1();
+  const int gnx2 = grid_->nx2();
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    const bool at_w = e.i0 == 0;
+    const bool at_e = e.i0 + e.ni == gnx1;
+    const bool at_s = e.j0 == 0;
+    const bool at_n = e.j0 + e.nj == gnx2;
+    for (int s = 0; s < ns_; ++s) {
+      TileView v = view(r, s);
+      for (int g = 0; g < ng_; ++g) {
+        if (at_w) {
+          for (int lj = 0; lj < e.nj; ++lj) {
+            switch (bc) {
+              case BcKind::Dirichlet0: v(-1 - g, lj) = 0.0; break;
+              case BcKind::Neumann0: v(-1 - g, lj) = v(g, lj); break;
+              case BcKind::Periodic:
+                v(-1 - g, lj) = gget(s, gnx1 - 1 - g, e.j0 + lj);
+                break;
+            }
+          }
+        }
+        if (at_e) {
+          for (int lj = 0; lj < e.nj; ++lj) {
+            switch (bc) {
+              case BcKind::Dirichlet0: v(e.ni + g, lj) = 0.0; break;
+              case BcKind::Neumann0: v(e.ni + g, lj) = v(e.ni - 1 - g, lj); break;
+              case BcKind::Periodic:
+                v(e.ni + g, lj) = gget(s, g, e.j0 + lj);
+                break;
+            }
+          }
+        }
+        if (at_s) {
+          for (int li = 0; li < e.ni; ++li) {
+            switch (bc) {
+              case BcKind::Dirichlet0: v(li, -1 - g) = 0.0; break;
+              case BcKind::Neumann0: v(li, -1 - g) = v(li, g); break;
+              case BcKind::Periodic:
+                v(li, -1 - g) = gget(s, e.i0 + li, gnx2 - 1 - g);
+                break;
+            }
+          }
+        }
+        if (at_n) {
+          for (int li = 0; li < e.ni; ++li) {
+            switch (bc) {
+              case BcKind::Dirichlet0: v(li, e.nj + g) = 0.0; break;
+              case BcKind::Neumann0: v(li, e.nj + g) = v(li, e.nj - 1 - g); break;
+              case BcKind::Periodic:
+                v(li, e.nj + g) = gget(s, e.i0 + li, g);
+                break;
+            }
+          }
+        }
+      }
+    }
+  }
+  (void)topo;
+}
+
+std::vector<double> DistField::gather_global() const {
+  std::vector<double> out(static_cast<std::size_t>(ns_) * grid_->nx1() *
+                          grid_->nx2());
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (int s = 0; s < ns_; ++s) {
+      const TileView v = view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          out[static_cast<std::size_t>(
+              grid_->linear_index(s, e.i0 + li, e.j0 + lj))] = v(li, lj);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace v2d::grid

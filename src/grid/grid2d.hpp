@@ -1,0 +1,105 @@
+#pragma once
+/// \file grid2d.hpp
+/// \brief Global 2-D orthogonal grid description.
+///
+/// V2D "has been generically written to allow various coordinate systems
+/// and the x1 and x2 spatial directions are always considered to be
+/// orthogonal".  Grid2D carries the zone counts, physical extents and the
+/// geometric factors (face areas, zone volumes) the finite-difference
+/// diffusion operator needs, for Cartesian and cylindrical coordinates.
+/// Zone centers are at i+1/2 spacings; faces at integer indices.
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace v2d::grid {
+
+enum class Coord : std::uint8_t {
+  Cartesian = 0,   ///< x1 = x, x2 = y
+  Cylindrical,     ///< x1 = r, x2 = z (axisymmetric)
+};
+
+class Grid2D {
+public:
+  Grid2D(int nx1, int nx2, double x1min, double x1max, double x2min,
+         double x2max, Coord coord = Coord::Cartesian)
+      : nx1_(nx1),
+        nx2_(nx2),
+        x1min_(x1min),
+        x1max_(x1max),
+        x2min_(x2min),
+        x2max_(x2max),
+        coord_(coord) {
+    V2D_REQUIRE(nx1 >= 1 && nx2 >= 1, "grid extents must be >= 1");
+    V2D_REQUIRE(x1max > x1min && x2max > x2min, "grid box must be non-empty");
+    if (coord == Coord::Cylindrical)
+      V2D_REQUIRE(x1min >= 0.0, "cylindrical radius cannot be negative");
+    dx1_ = (x1max - x1min) / nx1;
+    dx2_ = (x2max - x2min) / nx2;
+  }
+
+  int nx1() const { return nx1_; }
+  int nx2() const { return nx2_; }
+  std::int64_t zones() const { return static_cast<std::int64_t>(nx1_) * nx2_; }
+  double dx1() const { return dx1_; }
+  double dx2() const { return dx2_; }
+  Coord coord() const { return coord_; }
+
+  /// Zone-center coordinates.
+  double x1c(int i) const { return x1min_ + (i + 0.5) * dx1_; }
+  double x2c(int j) const { return x2min_ + (j + 0.5) * dx2_; }
+  /// Face coordinates (face i sits between zones i-1 and i).
+  double x1f(int i) const { return x1min_ + i * dx1_; }
+  double x2f(int j) const { return x2min_ + j * dx2_; }
+
+  /// Area of the x1-face at (face index i, zone j), per unit depth.
+  double area1(int i, int j) const {
+    (void)j;
+    switch (coord_) {
+      case Coord::Cartesian: return dx2_;
+      case Coord::Cylindrical: return x1f(i) * dx2_;
+    }
+    V2D_FAIL("bad coordinate system");
+  }
+
+  /// Area of the x2-face at (zone i, face index j).
+  double area2(int i, int j) const {
+    (void)j;
+    switch (coord_) {
+      case Coord::Cartesian: return dx1_;
+      case Coord::Cylindrical: return x1c(i) * dx1_;
+    }
+    V2D_FAIL("bad coordinate system");
+  }
+
+  /// Zone volume, per unit depth.
+  double volume(int i, int j) const {
+    (void)j;
+    switch (coord_) {
+      case Coord::Cartesian: return dx1_ * dx2_;
+      case Coord::Cylindrical: return x1c(i) * dx1_ * dx2_;
+    }
+    V2D_FAIL("bad coordinate system");
+  }
+
+  /// Dictionary-order linear index of unknown (s, i, j) in the assembled
+  /// system: i fastest, then j, then species — the ordering behind the
+  /// paper's Fig. 1 sparsity pattern (bands at 0, ±1, ±nx1, ±nx1·nx2).
+  std::int64_t linear_index(int s, int i, int j) const {
+    V2D_REQUIRE(i >= 0 && i < nx1_ && j >= 0 && j < nx2_ && s >= 0,
+                "index out of range");
+    return static_cast<std::int64_t>(i) +
+           static_cast<std::int64_t>(nx1_) * j +
+           static_cast<std::int64_t>(nx1_) * nx2_ * s;
+  }
+
+private:
+  int nx1_;
+  int nx2_;
+  double x1min_, x1max_, x2min_, x2max_;
+  double dx1_ = 0.0, dx2_ = 0.0;
+  Coord coord_;
+};
+
+}  // namespace v2d::grid

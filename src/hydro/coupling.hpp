@@ -1,0 +1,29 @@
+#pragma once
+/// \file coupling.hpp
+/// \brief Operator-split radiation–hydro coupling.
+///
+/// V2D is a radiation *hydrodynamics* code: each full step advances the
+/// gas (hydro sweep), then the radiation (three implicit solves), then
+/// exchanges energy between them.  This header provides the exchange leg:
+/// the gas absorbs c·κ_a·(E_rad − aT⁴) per unit time and the radiation
+/// loses it, applied explicitly after the radiation solves (the implicit
+/// part of the exchange lives in the coupling solve of radstep.hpp).
+
+#include "hydro/euler.hpp"
+#include "linalg/dist_vector.hpp"
+#include "rad/fld.hpp"
+
+namespace v2d::hydro {
+
+struct CouplingResult {
+  double energy_to_gas = 0.0;  ///< net energy moved into the gas this step
+};
+
+/// Deposit radiation heating into the gas energy and remove it from the
+/// radiation field, zone by zone.  Priced as Physics work.
+CouplingResult apply_rad_heating(linalg::ExecContext& ctx, HydroState& gas,
+                                 linalg::DistVector& e_rad,
+                                 const rad::FldBuilder& rad_builder,
+                                 const GammaLawEos& eos, double dt);
+
+}  // namespace v2d::hydro

@@ -1,0 +1,44 @@
+#pragma once
+/// \file eos.hpp
+/// \brief Gamma-law equation of state.
+///
+/// V2D solves Eulerian hydrodynamics alongside the radiation transport;
+/// the SVE study's test problem freezes the hydro, but the module is part
+/// of the code under study, so it is implemented fully.  The EOS is the
+/// ideal gamma-law closure p = (γ − 1)·ρ·ε used by the hydro tests.
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace v2d::hydro {
+
+class GammaLawEos {
+public:
+  explicit GammaLawEos(double gamma = 5.0 / 3.0) : gamma_(gamma) {
+    V2D_REQUIRE(gamma > 1.0, "gamma must exceed 1");
+  }
+
+  double gamma() const { return gamma_; }
+
+  /// Pressure from density and specific internal energy.
+  double pressure(double rho, double eint) const {
+    return (gamma_ - 1.0) * rho * eint;
+  }
+
+  /// Specific internal energy from density and pressure.
+  double eint(double rho, double p) const {
+    return p / ((gamma_ - 1.0) * rho);
+  }
+
+  /// Adiabatic sound speed.
+  double sound_speed(double rho, double p) const {
+    V2D_CHECK(rho > 0.0 && p >= 0.0, "unphysical state");
+    return std::sqrt(gamma_ * p / rho);
+  }
+
+private:
+  double gamma_;
+};
+
+}  // namespace v2d::hydro

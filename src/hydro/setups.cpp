@@ -1,0 +1,60 @@
+#include "hydro/setups.hpp"
+
+#include <cmath>
+
+namespace v2d::hydro {
+
+namespace {
+template <typename F>
+void for_each_zone(HydroState& state, F&& f) {
+  const grid::Grid2D& g = state.field().grid();
+  const auto& dec = state.field().decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    for (int lj = 0; lj < e.nj; ++lj)
+      for (int li = 0; li < e.ni; ++li)
+        f(e.i0 + li, e.j0 + lj, g.x1c(e.i0 + li), g.x2c(e.j0 + lj));
+  }
+}
+}  // namespace
+
+void setup_sod(HydroState& state, const GammaLawEos& eos,
+               double x_diaphragm) {
+  for_each_zone(state, [&](int gi, int gj, double x, double) {
+    if (x < x_diaphragm) {
+      state.set_primitive(eos, gi, gj, 1.0, 0.0, 0.0, 1.0);
+    } else {
+      state.set_primitive(eos, gi, gj, 0.125, 0.0, 0.0, 0.1);
+    }
+  });
+}
+
+void setup_sedov(HydroState& state, const GammaLawEos& eos, double e_blast,
+                 double radius) {
+  const grid::Grid2D& g = state.field().grid();
+  const double xc = 0.5 * (g.x1f(0) + g.x1f(g.nx1()));
+  const double yc = 0.5 * (g.x2f(0) + g.x2f(g.nx2()));
+  // Count the deposit zones first so the blast energy is exact.
+  int deposit_zones = 0;
+  for_each_zone(state, [&](int, int, double x, double y) {
+    if (std::hypot(x - xc, y - yc) <= radius) ++deposit_zones;
+  });
+  const double volume_per_zone = g.dx1() * g.dx2();
+  for_each_zone(state, [&](int gi, int gj, double x, double y) {
+    const bool hot = deposit_zones > 0 &&
+                     std::hypot(x - xc, y - yc) <= radius;
+    const double eint_density =
+        hot ? e_blast / (deposit_zones * volume_per_zone) : 1.0e-5;
+    const double p = (eos.gamma() - 1.0) * eint_density;
+    state.set_primitive(eos, gi, gj, 1.0, 0.0, 0.0, std::max(p, 1.0e-12));
+  });
+}
+
+void setup_uniform(HydroState& state, const GammaLawEos& eos, double rho,
+                   double p) {
+  for_each_zone(state, [&](int gi, int gj, double, double) {
+    state.set_primitive(eos, gi, gj, rho, 0.0, 0.0, p);
+  });
+}
+
+}  // namespace v2d::hydro

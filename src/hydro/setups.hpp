@@ -1,0 +1,23 @@
+#pragma once
+/// \file setups.hpp
+/// \brief Canonical hydro test problem initializers.
+
+#include "hydro/euler.hpp"
+
+namespace v2d::hydro {
+
+/// Sod shock tube along x1 (uniform in x2): left state (ρ=1, p=1), right
+/// state (ρ=0.125, p=0.1), diaphragm at x1 = x_diaphragm.
+void setup_sod(HydroState& state, const GammaLawEos& eos,
+               double x_diaphragm = 0.5);
+
+/// Sedov-like point blast: ambient (ρ=1, p=1e-5) with energy E_blast
+/// deposited in the zones within `radius` of the domain center.
+void setup_sedov(HydroState& state, const GammaLawEos& eos,
+                 double e_blast = 1.0, double radius = 0.05);
+
+/// Uniform quiescent state.
+void setup_uniform(HydroState& state, const GammaLawEos& eos, double rho,
+                   double p);
+
+}  // namespace v2d::hydro

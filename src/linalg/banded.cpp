@@ -1,0 +1,109 @@
+#include "linalg/banded.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace v2d::linalg {
+
+BandedMatrix::BandedMatrix(std::int64_t n, std::vector<std::int64_t> offsets)
+    : n_(n), offsets_(std::move(offsets)) {
+  V2D_REQUIRE(n >= 1, "matrix must be non-empty");
+  std::sort(offsets_.begin(), offsets_.end());
+  V2D_REQUIRE(std::adjacent_find(offsets_.begin(), offsets_.end()) ==
+                  offsets_.end(),
+              "duplicate band offsets");
+  bands_.assign(offsets_.size(),
+                std::vector<double>(static_cast<std::size_t>(n), 0.0));
+}
+
+std::size_t BandedMatrix::band_index(std::int64_t offset) const {
+  auto it = std::lower_bound(offsets_.begin(), offsets_.end(), offset);
+  V2D_REQUIRE(it != offsets_.end() && *it == offset,
+              "offset is not a band of this matrix");
+  return static_cast<std::size_t>(it - offsets_.begin());
+}
+
+double& BandedMatrix::at(std::int64_t row, std::int64_t offset) {
+  V2D_REQUIRE(row >= 0 && row < n_, "row out of range");
+  const std::int64_t col = row + offset;
+  V2D_REQUIRE(col >= 0 && col < n_, "column out of range");
+  return bands_[band_index(offset)][static_cast<std::size_t>(row)];
+}
+
+double BandedMatrix::get(std::int64_t row, std::int64_t offset) const {
+  V2D_REQUIRE(row >= 0 && row < n_, "row out of range");
+  const std::int64_t col = row + offset;
+  if (col < 0 || col >= n_) return 0.0;
+  return bands_[band_index(offset)][static_cast<std::size_t>(row)];
+}
+
+void BandedMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  V2D_REQUIRE(static_cast<std::int64_t>(x.size()) == n_ &&
+                  static_cast<std::int64_t>(y.size()) == n_,
+              "vector length mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t k = 0; k < offsets_.size(); ++k) {
+    const std::int64_t off = offsets_[k];
+    const std::int64_t lo = std::max<std::int64_t>(0, -off);
+    const std::int64_t hi = std::min<std::int64_t>(n_, n_ - off);
+    const auto& band = bands_[k];
+    for (std::int64_t row = lo; row < hi; ++row) {
+      y[static_cast<std::size_t>(row)] +=
+          band[static_cast<std::size_t>(row)] *
+          x[static_cast<std::size_t>(row + off)];
+    }
+  }
+}
+
+std::int64_t BandedMatrix::nnz() const {
+  std::int64_t count = 0;
+  for (std::size_t k = 0; k < offsets_.size(); ++k) {
+    const std::int64_t off = offsets_[k];
+    const std::int64_t lo = std::max<std::int64_t>(0, -off);
+    const std::int64_t hi = std::min<std::int64_t>(n_, n_ - off);
+    for (std::int64_t row = lo; row < hi; ++row) {
+      if (bands_[k][static_cast<std::size_t>(row)] != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+std::string BandedMatrix::render_block(std::int64_t rows,
+                                       std::int64_t cols) const {
+  rows = std::min(rows, n_);
+  cols = std::min(cols, n_);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows * (cols + 1)));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      bool nz = false;
+      for (std::size_t k = 0; k < offsets_.size() && !nz; ++k) {
+        if (offsets_[k] == c - r)
+          nz = bands_[k][static_cast<std::size_t>(r)] != 0.0;
+      }
+      out.push_back(nz ? '*' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void BandedMatrix::write_pbm(std::ostream& os, std::int64_t rows,
+                             std::int64_t cols) const {
+  rows = std::min(rows, n_);
+  cols = std::min(cols, n_);
+  os << "P1\n" << cols << ' ' << rows << '\n';
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      bool nz = false;
+      for (std::size_t k = 0; k < offsets_.size() && !nz; ++k) {
+        if (offsets_[k] == c - r)
+          nz = bands_[k][static_cast<std::size_t>(r)] != 0.0;
+      }
+      os << (nz ? '1' : '0') << (c + 1 < cols ? ' ' : '\n');
+    }
+  }
+}
+
+}  // namespace v2d::linalg

@@ -1,0 +1,55 @@
+#pragma once
+/// \file banded.hpp
+/// \brief Explicitly assembled banded matrix.
+///
+/// V2D never stores its matrix; this class exists for everything the paper
+/// does *about* the matrix rather than with it: rendering the Fig. 1
+/// sparsity pattern, and cross-validating the matrix-free stencil operator
+/// against a ground-truth dense-band multiply in the tests.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+class BandedMatrix {
+public:
+  /// `offsets` are the band offsets (e.g. {0, ±1, ±nx1, ±nx1·nx2}),
+  /// any order, deduplicated by the caller.
+  BandedMatrix(std::int64_t n, std::vector<std::int64_t> offsets);
+
+  std::int64_t size() const { return n_; }
+  const std::vector<std::int64_t>& offsets() const { return offsets_; }
+
+  /// Entry A(row, row + offset); the offset must be one of the bands and
+  /// the column must be in range.
+  double& at(std::int64_t row, std::int64_t offset);
+  double get(std::int64_t row, std::int64_t offset) const;
+
+  /// Dense banded multiply y ← A·x (ground truth for tests).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Count of structurally stored, in-range entries that are non-zero.
+  std::int64_t nnz() const;
+
+  /// ASCII sparsity rendering of the upper-left `rows`×`cols` block
+  /// ('*' = non-zero), one text row per matrix row — Fig. 1 as text.
+  std::string render_block(std::int64_t rows, std::int64_t cols) const;
+
+  /// PBM (portable bitmap) rendering of the same block — Fig. 1 as image.
+  void write_pbm(std::ostream& os, std::int64_t rows, std::int64_t cols) const;
+
+private:
+  std::size_t band_index(std::int64_t offset) const;
+
+  std::int64_t n_;
+  std::vector<std::int64_t> offsets_;
+  std::vector<std::vector<double>> bands_;  // bands_[k][row]
+};
+
+}  // namespace v2d::linalg

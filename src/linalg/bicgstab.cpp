@@ -1,0 +1,218 @@
+#include "linalg/bicgstab.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+namespace {
+constexpr double kBreakdownEps = 1.0e-300;
+}
+
+BicgstabSolver::BicgstabSolver(const grid::Grid2D& g,
+                               const grid::Decomposition& d, int ns)
+    : r_(g, d, ns),
+      rhat_(g, d, ns),
+      p_(g, d, ns),
+      v_(g, d, ns),
+      s_(g, d, ns),
+      t_(g, d, ns),
+      phat_(g, d, ns),
+      shat_(g, d, ns) {}
+
+SolveStats BicgstabSolver::solve(ExecContext& ctx, const LinearOperator& A,
+                                 Preconditioner& M, DistVector& x,
+                                 const DistVector& b,
+                                 const SolveOptions& opt) {
+  V2D_REQUIRE(opt.rel_tol > 0.0, "tolerance must be positive");
+  V2D_REQUIRE(opt.max_iterations >= 1, "need at least one iteration");
+  return opt.ganged ? solve_ganged(ctx, A, M, x, b, opt)
+                    : solve_classic(ctx, A, M, x, b, opt);
+}
+
+SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
+                                         const LinearOperator& A,
+                                         Preconditioner& M, DistVector& x,
+                                         const DistVector& b,
+                                         const SolveOptions& opt) {
+  SolveStats stats;
+  // r0 = b − A·x0, r̂ = r0, p = r0.
+  A.apply(ctx, x, r_);
+  r_.assign_sub(ctx, b, r_);
+  rhat_.copy_from(ctx, r_);
+  p_.copy_from(ctx, r_);
+
+  const double bnorm = DistVector::norm2(ctx, b);
+  ++stats.global_reductions;
+  if (bnorm == 0.0) {
+    x.fill(ctx, 0.0);
+    stats.converged = true;
+    stats.stop_reason = "zero rhs";
+    return stats;
+  }
+
+  double rho = DistVector::dot(ctx, rhat_, r_);
+  ++stats.global_reductions;
+  double rnorm = DistVector::norm2(ctx, r_);
+  ++stats.global_reductions;
+
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    stats.iterations = it;
+    if (std::fabs(rho) < kBreakdownEps) {
+      stats.stop_reason = "rho breakdown";
+      break;
+    }
+    // p̂ = M·p ; v = A·p̂.
+    M.apply(ctx, p_, phat_);
+    A.apply(ctx, phat_, v_);
+    const double rhat_v = DistVector::dot(ctx, rhat_, v_);
+    ++stats.global_reductions;
+    if (std::fabs(rhat_v) < kBreakdownEps) {
+      stats.stop_reason = "rhat.v breakdown";
+      break;
+    }
+    const double alpha = rho / rhat_v;
+    // s = r − α·v.
+    s_.copy_from(ctx, r_);
+    s_.daxpy(ctx, -alpha, v_);
+    // ŝ = M·s ; t = A·ŝ.
+    M.apply(ctx, s_, shat_);
+    A.apply(ctx, shat_, t_);
+    const double ts = DistVector::dot(ctx, t_, s_);
+    ++stats.global_reductions;
+    const double tt = DistVector::dot(ctx, t_, t_);
+    ++stats.global_reductions;
+    if (tt < kBreakdownEps) {
+      // t vanished: x += α·p̂ finishes the step exactly.
+      x.daxpy(ctx, alpha, phat_);
+      r_.copy_from(ctx, s_);
+      rnorm = DistVector::norm2(ctx, r_);
+      ++stats.global_reductions;
+      stats.final_relative_residual = rnorm / bnorm;
+      stats.converged = stats.final_relative_residual <= opt.rel_tol;
+      stats.stop_reason = "t breakdown";
+      break;
+    }
+    const double omega = ts / tt;
+    // x += α·p̂ + ω·ŝ ;  r = s − ω·t.
+    x.ddaxpy(ctx, alpha, phat_, omega, shat_);
+    r_.copy_from(ctx, s_);
+    r_.daxpy(ctx, -omega, t_);
+    rnorm = DistVector::norm2(ctx, r_);
+    ++stats.global_reductions;
+    stats.final_relative_residual = rnorm / bnorm;
+    if (stats.final_relative_residual <= opt.rel_tol) {
+      stats.converged = true;
+      stats.stop_reason = "tolerance reached";
+      break;
+    }
+    if (std::fabs(omega) < kBreakdownEps) {
+      stats.stop_reason = "omega breakdown";
+      break;
+    }
+    const double rho_new = DistVector::dot(ctx, rhat_, r_);
+    ++stats.global_reductions;
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    // p = r + β·(p − ω·v).
+    p_.daxpy(ctx, -omega, v_);
+    p_.xpby(ctx, r_, beta);
+  }
+  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  return stats;
+}
+
+SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
+                                        const LinearOperator& A,
+                                        Preconditioner& M, DistVector& x,
+                                        const DistVector& b,
+                                        const SolveOptions& opt) {
+  SolveStats stats;
+  A.apply(ctx, x, r_);
+  r_.assign_sub(ctx, b, r_);
+  rhat_.copy_from(ctx, r_);
+  p_.copy_from(ctx, r_);
+
+  // Setup gang: {‖b‖², ρ0 = r̂ᵀr} in a single reduction.
+  double rho, bnorm;
+  {
+    const DistVector::DotPair pairs[] = {{&b, &b}, {&rhat_, &r_}};
+    const auto vals = DistVector::dot_ganged(ctx, pairs);
+    ++stats.global_reductions;
+    bnorm = std::sqrt(vals[0]);
+    rho = vals[1];
+  }
+  if (bnorm == 0.0) {
+    x.fill(ctx, 0.0);
+    stats.converged = true;
+    stats.stop_reason = "zero rhs";
+    return stats;
+  }
+  double rnorm2 = rho;  // r0 = r̂ ⇒ ρ0 = ‖r0‖²
+
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    stats.iterations = it;
+    if (std::fabs(rho) < kBreakdownEps) {
+      stats.stop_reason = "rho breakdown";
+      break;
+    }
+    M.apply(ctx, p_, phat_);
+    A.apply(ctx, phat_, v_);
+    const double rhat_v = DistVector::dot(ctx, rhat_, v_);
+    ++stats.global_reductions;
+    if (std::fabs(rhat_v) < kBreakdownEps) {
+      stats.stop_reason = "rhat.v breakdown";
+      break;
+    }
+    const double alpha = rho / rhat_v;
+    s_.copy_from(ctx, r_);
+    s_.daxpy(ctx, -alpha, v_);
+    M.apply(ctx, s_, shat_);
+    A.apply(ctx, shat_, t_);
+    // Gang: {tᵀs, tᵀt, sᵀs} in one reduction.
+    double ts, tt, ss;
+    {
+      const DistVector::DotPair pairs[] = {{&t_, &s_}, {&t_, &t_}, {&s_, &s_}};
+      const auto vals = DistVector::dot_ganged(ctx, pairs);
+      ++stats.global_reductions;
+      ts = vals[0];
+      tt = vals[1];
+      ss = vals[2];
+    }
+    if (tt < kBreakdownEps) {
+      x.daxpy(ctx, alpha, phat_);
+      r_.copy_from(ctx, s_);
+      stats.final_relative_residual = std::sqrt(std::max(0.0, ss)) / bnorm;
+      stats.converged = stats.final_relative_residual <= opt.rel_tol;
+      stats.stop_reason = "t breakdown";
+      break;
+    }
+    const double omega = ts / tt;
+    x.ddaxpy(ctx, alpha, phat_, omega, shat_);
+    r_.copy_from(ctx, s_);
+    r_.daxpy(ctx, -omega, t_);
+    // ‖r‖² reconstructed from the gang — no extra reduction.
+    rnorm2 = std::max(0.0, ss - 2.0 * omega * ts + omega * omega * tt);
+    stats.final_relative_residual = std::sqrt(rnorm2) / bnorm;
+    if (stats.final_relative_residual <= opt.rel_tol) {
+      stats.converged = true;
+      stats.stop_reason = "tolerance reached";
+      break;
+    }
+    if (std::fabs(omega) < kBreakdownEps) {
+      stats.stop_reason = "omega breakdown";
+      break;
+    }
+    const double rho_new = DistVector::dot(ctx, rhat_, r_);
+    ++stats.global_reductions;
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    p_.daxpy(ctx, -omega, v_);
+    p_.xpby(ctx, r_, beta);
+  }
+  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  return stats;
+}
+
+}  // namespace v2d::linalg

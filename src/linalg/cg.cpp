@@ -1,0 +1,74 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+CgSolver::CgSolver(const grid::Grid2D& g, const grid::Decomposition& d, int ns)
+    : r_(g, d, ns), z_(g, d, ns), p_(g, d, ns), q_(g, d, ns) {}
+
+SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
+                           Preconditioner& M, DistVector& x,
+                           const DistVector& b, const SolveOptions& opt) {
+  V2D_REQUIRE(opt.rel_tol > 0.0, "tolerance must be positive");
+  SolveStats stats;
+
+  A.apply(ctx, x, r_);
+  r_.assign_sub(ctx, b, r_);
+  M.apply(ctx, r_, z_);
+  p_.copy_from(ctx, z_);
+
+  double bnorm, rz, rnorm2;
+  {
+    const DistVector::DotPair pairs[] = {{&b, &b}, {&r_, &z_}, {&r_, &r_}};
+    const auto vals = DistVector::dot_ganged(ctx, pairs);
+    ++stats.global_reductions;
+    bnorm = std::sqrt(vals[0]);
+    rz = vals[1];
+    rnorm2 = vals[2];
+  }
+  if (bnorm == 0.0) {
+    x.fill(ctx, 0.0);
+    stats.converged = true;
+    stats.stop_reason = "zero rhs";
+    return stats;
+  }
+
+  for (int it = 1; it <= opt.max_iterations; ++it) {
+    stats.iterations = it;
+    A.apply(ctx, p_, q_);
+    const double pq = DistVector::dot(ctx, p_, q_);
+    ++stats.global_reductions;
+    if (!(std::fabs(pq) > 0.0)) {
+      stats.stop_reason = "p.Ap breakdown";
+      break;
+    }
+    const double alpha = rz / pq;
+    x.daxpy(ctx, alpha, p_);
+    r_.daxpy(ctx, -alpha, q_);
+    M.apply(ctx, r_, z_);
+    double rz_new;
+    {
+      const DistVector::DotPair pairs[] = {{&r_, &z_}, {&r_, &r_}};
+      const auto vals = DistVector::dot_ganged(ctx, pairs);
+      ++stats.global_reductions;
+      rz_new = vals[0];
+      rnorm2 = vals[1];
+    }
+    stats.final_relative_residual = std::sqrt(std::max(0.0, rnorm2)) / bnorm;
+    if (stats.final_relative_residual <= opt.rel_tol) {
+      stats.converged = true;
+      stats.stop_reason = "tolerance reached";
+      break;
+    }
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    p_.xpby(ctx, z_, beta);
+  }
+  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  return stats;
+}
+
+}  // namespace v2d::linalg

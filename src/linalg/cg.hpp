@@ -1,0 +1,30 @@
+#pragma once
+/// \file cg.hpp
+/// \brief Preconditioned Conjugate Gradient baseline.
+///
+/// The paper introduces BiCGSTAB as "an extension of the Conjugate
+/// Gradient (CG) method ... to those cases where the system matrix A is
+/// non-symmetric".  CG is provided as the symmetric baseline: the
+/// diffusion-only test systems are symmetric, so the benches can compare
+/// the two solvers on identical systems.
+
+#include "linalg/bicgstab.hpp"
+#include "linalg/operator.hpp"
+#include "linalg/precond.hpp"
+
+namespace v2d::linalg {
+
+class CgSolver {
+public:
+  CgSolver(const grid::Grid2D& g, const grid::Decomposition& d, int ns);
+
+  /// Solve A·x = b (A must be symmetric positive definite; M symmetric).
+  SolveStats solve(ExecContext& ctx, const LinearOperator& A,
+                   Preconditioner& M, DistVector& x, const DistVector& b,
+                   const SolveOptions& opt = {});
+
+private:
+  DistVector r_, z_, p_, q_;
+};
+
+}  // namespace v2d::linalg

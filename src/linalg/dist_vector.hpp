@@ -1,0 +1,79 @@
+#pragma once
+/// \file dist_vector.hpp
+/// \brief Distributed Krylov vector with V2D's grid shape.
+///
+/// A DistVector is an ns-species grid-shaped vector (one DistField) plus
+/// the instrumented BLAS-level operations of the paper's Table II.  Every
+/// operation loops rank-by-rank over tile rows, runs the VLA kernel, and
+/// commits one priced call per rank, so per-rank clocks advance exactly
+/// with the work each simulated processor does.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grid/dist_field.hpp"
+#include "linalg/exec_context.hpp"
+
+namespace v2d::linalg {
+
+class DistVector {
+public:
+  DistVector(const grid::Grid2D& g, const grid::Decomposition& d, int ns)
+      : field_(g, d, ns, /*ng=*/1) {}
+
+  grid::DistField& field() { return field_; }
+  const grid::DistField& field() const { return field_; }
+  int ns() const { return field_.ns(); }
+  int nranks() const { return field_.nranks(); }
+  std::int64_t global_size() const {
+    return field_.grid().zones() * field_.ns();
+  }
+
+  /// y ← a·x + y   (DAXPY)
+  void daxpy(ExecContext& ctx, double a, const DistVector& x);
+  /// y ← c − d·y   (DSCAL, V2D flavour)
+  void dscal(ExecContext& ctx, double c, double d);
+  /// z ← a·x + b·y + z   (DDAXPY)
+  void ddaxpy(ExecContext& ctx, double a, const DistVector& x, double b,
+              const DistVector& y);
+  /// y ← x + b·y   (XPBY)
+  void xpby(ExecContext& ctx, const DistVector& x, double b);
+  /// y ← x
+  void copy_from(ExecContext& ctx, const DistVector& x);
+  /// y ← a
+  void fill(ExecContext& ctx, double a);
+  /// z ← x − y
+  void assign_sub(ExecContext& ctx, const DistVector& x, const DistVector& y);
+
+  /// DPROD with the global reduction priced as one allreduce.
+  static double dot(ExecContext& ctx, const DistVector& x,
+                    const DistVector& y);
+
+  /// Ganged inner products: all pairs share a single allreduce — the
+  /// paper's "gangs inner products to reduce the number of parallel global
+  /// reduction operations" restructuring.
+  struct DotPair {
+    const DistVector* x;
+    const DistVector* y;
+  };
+  static std::vector<double> dot_ganged(ExecContext& ctx,
+                                        std::span<const DotPair> pairs);
+
+  /// 2-norm (one DPROD + host sqrt).
+  static double norm2(ExecContext& ctx, const DistVector& x);
+
+  /// Bytes one rank touches when an op reads/writes `arrays` tile-shaped
+  /// arrays (for working-set classification).
+  std::uint64_t working_set(int rank, int arrays) const;
+
+private:
+  template <typename RowOp>
+  void for_each_row(ExecContext& ctx, compiler::KernelFamily family,
+                    const std::string& region, int arrays, RowOp&& op);
+
+  grid::DistField field_;
+};
+
+}  // namespace v2d::linalg

@@ -1,0 +1,87 @@
+#pragma once
+/// \file exec_context.hpp
+/// \brief Bundles the VLA recorder with the execution pricer.
+///
+/// Every distributed operation takes an ExecContext.  The vla::Context
+/// executes and records; commit() flushes the recording as one priced
+/// kernel call attributed to a rank.  When `em` is null the numerics run
+/// unpriced (unit tests of pure math use this).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/profile.hpp"
+#include "mpisim/exec_model.hpp"
+#include "vla/vla.hpp"
+
+namespace v2d::linalg {
+
+struct ExecContext {
+  vla::Context vctx;
+  mpisim::ExecModel* em = nullptr;
+
+  ExecContext() = default;
+  explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr)
+      : vctx(arch), em(model) {}
+
+  /// Flush the recording accumulated since the last commit as one kernel
+  /// call by `rank` touching a `working_set_bytes` footprint.
+  void commit(int rank, compiler::KernelFamily family,
+              const std::string& region, std::uint64_t elements,
+              std::uint64_t working_set_bytes) {
+    sim::KernelCounts counts = vctx.take_counts();
+    counts.calls = 1;
+    counts.elements = elements;
+    if (em != nullptr) em->kernel(rank, family, region, counts, working_set_bytes);
+  }
+
+  /// Discard any recording (used around setup code that should not be
+  /// attributed to the solver).
+  void discard() { (void)vctx.take_counts(); }
+
+  /// Price scalar-heavy host code (coefficient assembly, small dense
+  /// solves) from analytic per-element flop/traffic estimates instead of a
+  /// VLA recording.  FMA-dominated mix is assumed; loop control is charged
+  /// per element.
+  void commit_synthetic(int rank, compiler::KernelFamily family,
+                        const std::string& region, std::uint64_t elements,
+                        std::uint64_t flops_per_elem,
+                        std::uint64_t bytes_read_per_elem,
+                        std::uint64_t bytes_written_per_elem,
+                        std::uint64_t working_set_bytes) {
+    if (em == nullptr) return;
+    sim::KernelCounts c;
+    const unsigned vl = vctx.lanes();
+    const std::uint64_t fma = elements * flops_per_elem / 2;
+    const std::uint64_t ld = elements * bytes_read_per_elem / 8;
+    const std::uint64_t st = elements * bytes_written_per_elem / 8;
+    auto rec = [&](sim::OpClass cls, std::uint64_t lanes) {
+      const auto i = static_cast<std::size_t>(cls);
+      c.lanes[i] = lanes;
+      c.instr[i] = (lanes + vl - 1) / vl;
+    };
+    rec(sim::OpClass::FlopFma, fma);
+    rec(sim::OpClass::LoadContig, ld);
+    rec(sim::OpClass::StoreContig, st);
+    c.lanes[static_cast<std::size_t>(sim::OpClass::Branch)] = elements;
+    c.instr[static_cast<std::size_t>(sim::OpClass::Branch)] = elements;
+    c.bytes_read = elements * bytes_read_per_elem;
+    c.bytes_written = elements * bytes_written_per_elem;
+    c.elements = elements;
+    c.calls = 1;
+    em->kernel(rank, family, region, c, working_set_bytes);
+  }
+
+  void allreduce(std::uint64_t bytes,
+                 const std::string& region = "mpi_allreduce") {
+    if (em != nullptr) em->allreduce(bytes, region);
+  }
+
+  void exchange(const std::vector<mpisim::Transfer>& transfers,
+                const std::string& region = "mpi_halo") {
+    if (em != nullptr) em->exchange(transfers, region);
+  }
+};
+
+}  // namespace v2d::linalg

@@ -1,0 +1,145 @@
+#include "linalg/kernels.hpp"
+
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+using vla::Context;
+using vla::Predicate;
+using vla::VReg;
+
+double dprod(Context& ctx, std::span<const double> x,
+             std::span<const double> y) {
+  V2D_REQUIRE(x.size() == y.size(), "dprod: length mismatch");
+  return vla::strip_reduce(ctx, x.size(),
+                           [&](std::uint64_t i, const Predicate& p, VReg acc) {
+                             const VReg vx = ctx.ld1(p, &x[i]);
+                             const VReg vy = ctx.ld1(p, &y[i]);
+                             // Merging form: a zeroing tail strip would
+                             // clobber the accumulator's inactive lanes.
+                             return ctx.fma_merge(p, vx, vy, acc);
+                           });
+}
+
+void daxpy(Context& ctx, double a, std::span<const double> x,
+           std::span<double> y) {
+  V2D_REQUIRE(x.size() == y.size(), "daxpy: length mismatch");
+  const VReg va = ctx.dup(a);
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.fma(p, vx, va, vy));
+  });
+}
+
+void dscal(Context& ctx, double c, double d, std::span<double> y) {
+  const VReg vc = ctx.dup(c);
+  const VReg vd = ctx.dup(-d);
+  vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.fma(p, vy, vd, vc));  // c + (−d)·y
+  });
+}
+
+void ddaxpy(Context& ctx, double a, std::span<const double> x, double b,
+            std::span<const double> y, std::span<double> z) {
+  V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
+              "ddaxpy: length mismatch");
+  const VReg va = ctx.dup(a);
+  const VReg vb = ctx.dup(b);
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    const VReg vz = ctx.ld1(p, &z[i]);
+    const VReg t = ctx.fma(p, vx, va, vz);
+    ctx.st1(p, &z[i], ctx.fma(p, vy, vb, t));
+  });
+}
+
+void xpby(Context& ctx, std::span<const double> x, double b,
+          std::span<double> y) {
+  V2D_REQUIRE(x.size() == y.size(), "xpby: length mismatch");
+  const VReg vb = ctx.dup(b);
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.fma(p, vy, vb, vx));
+  });
+}
+
+void copy(Context& ctx, std::span<const double> x, std::span<double> y) {
+  V2D_REQUIRE(x.size() == y.size(), "copy: length mismatch");
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    ctx.st1(p, &y[i], ctx.ld1(p, &x[i]));
+  });
+}
+
+void fill(Context& ctx, double a, std::span<double> y) {
+  const VReg va = ctx.dup(a);
+  vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
+    ctx.st1(p, &y[i], va);
+  });
+}
+
+void sub(Context& ctx, std::span<const double> x, std::span<const double> y,
+         std::span<double> z) {
+  V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
+              "sub: length mismatch");
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &z[i], ctx.sub(p, vx, vy));
+  });
+}
+
+void hadamard(Context& ctx, std::span<const double> x,
+              std::span<const double> y, std::span<double> z) {
+  V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
+              "hadamard: length mismatch");
+  vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &z[i], ctx.mul(p, vx, vy));
+  });
+}
+
+void stencil_row(Context& ctx, std::span<const double> cc,
+                 std::span<const double> cw, std::span<const double> ce,
+                 std::span<const double> cs, std::span<const double> cn,
+                 const double* xc, const double* xs, const double* xn,
+                 std::span<double> y) {
+  const std::size_t n = y.size();
+  V2D_REQUIRE(cc.size() == n && cw.size() == n && ce.size() == n &&
+                  cs.size() == n && cn.size() == n,
+              "stencil_row: coefficient length mismatch");
+  vla::strip_mine(ctx, n, [&](std::uint64_t i, const Predicate& p) {
+    const VReg vcc = ctx.ld1(p, &cc[i]);
+    const VReg vxc = ctx.ld1(p, xc + i);
+    VReg acc = ctx.mul(p, vcc, vxc);
+    const VReg vcw = ctx.ld1(p, &cw[i]);
+    const VReg vxw = ctx.ld1(p, xc + i - 1);  // unaligned shifted load
+    acc = ctx.fma(p, vcw, vxw, acc);
+    const VReg vce = ctx.ld1(p, &ce[i]);
+    const VReg vxe = ctx.ld1(p, xc + i + 1);
+    acc = ctx.fma(p, vce, vxe, acc);
+    const VReg vcs = ctx.ld1(p, &cs[i]);
+    const VReg vxs = ctx.ld1(p, xs + i);
+    acc = ctx.fma(p, vcs, vxs, acc);
+    const VReg vcn = ctx.ld1(p, &cn[i]);
+    const VReg vxn = ctx.ld1(p, xn + i);
+    acc = ctx.fma(p, vcn, vxn, acc);
+    ctx.st1(p, &y[i], acc);
+  });
+}
+
+void coupling_row(Context& ctx, std::span<const double> csp, const double* xo,
+                  std::span<double> y) {
+  vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
+    const VReg vc = ctx.ld1(p, &csp[i]);
+    const VReg vx = ctx.ld1(p, xo + i);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.fma(p, vc, vx, vy));
+  });
+}
+
+}  // namespace v2d::linalg

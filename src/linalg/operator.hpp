@@ -1,0 +1,30 @@
+#pragma once
+/// \file operator.hpp
+/// \brief Abstract linear operator applied matrix-free.
+///
+/// "Because of its prohibitive size, the sparse linear system matrix is
+/// never stored and the Krylov subspace methods are implemented in
+/// matrix-free form by application of a finite-difference operator to
+/// column vectors."  LinearOperator is that abstraction; StencilOperator
+/// is the concrete finite-difference form.
+
+#include <cstdint>
+
+#include "linalg/dist_vector.hpp"
+#include "linalg/exec_context.hpp"
+
+namespace v2d::linalg {
+
+class LinearOperator {
+public:
+  virtual ~LinearOperator() = default;
+
+  /// y ← A·x.  `x` is taken mutable because the operator refreshes its
+  /// ghost zones (the halo exchange is part of the matrix-free product).
+  virtual void apply(ExecContext& ctx, DistVector& x, DistVector& y) const = 0;
+
+  /// Number of unknowns (ns · nx1 · nx2).
+  virtual std::int64_t size() const = 0;
+};
+
+}  // namespace v2d::linalg

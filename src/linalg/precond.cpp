@@ -1,0 +1,283 @@
+#include "linalg/precond.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+using compiler::KernelFamily;
+
+// --- identity -----------------------------------------------------------------
+
+void IdentityPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
+  y.copy_from(ctx, x);
+}
+
+// --- Jacobi --------------------------------------------------------------------
+
+JacobiPrecond::JacobiPrecond(ExecContext& ctx, const StencilOperator& A)
+    : dinv_(A.grid(), A.decomp(), A.ns(), 1) {
+  auto& cc = const_cast<StencilOperator&>(A).cc();
+  for (int r = 0; r < A.decomp().nranks(); ++r) {
+    const grid::TileExtent& e = A.decomp().extent(r);
+    for (int s = 0; s < A.ns(); ++s) {
+      grid::TileView c = cc.view(r, s);
+      grid::TileView d = dinv_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        const vla::VReg ones = ctx.vctx.dup(1.0);
+        vla::strip_mine(ctx.vctx, static_cast<std::uint64_t>(e.ni),
+                        [&](std::uint64_t i, const vla::Predicate& p) {
+                          const vla::VReg vc = ctx.vctx.ld1(p, c.row(lj) + i);
+                          ctx.vctx.st1(p, d.row(lj) + i,
+                                       ctx.vctx.div(p, ones, vc));
+                        });
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * A.ns();
+    ctx.commit(r, KernelFamily::PrecondBuild, "precond-build", elements,
+               2 * elements * sizeof(double));
+  }
+}
+
+void JacobiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
+  const auto& dec = x.field().decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    const auto n = static_cast<std::size_t>(e.ni);
+    for (int s = 0; s < x.ns(); ++s) {
+      grid::TileView xv = x.field().view(r, s);
+      grid::TileView yv = y.field().view(r, s);
+      grid::TileView dv = dinv_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        hadamard(ctx.vctx, std::span<const double>(dv.row(lj), n),
+                 std::span<const double>(xv.row(lj), n),
+                 std::span<double>(yv.row(lj), n));
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
+    ctx.commit(r, KernelFamily::Precond, "precond", elements,
+               x.working_set(r, 3));
+  }
+}
+
+// --- SPAI(0) --------------------------------------------------------------------
+
+Spai0Precond::Spai0Precond(ExecContext& ctx, const StencilOperator& A)
+    : m_(A.grid(), A.decomp(), A.ns(), 1) {
+  auto& mutableA = const_cast<StencilOperator&>(A);
+  // Column k of A needs the neighbours' coefficients pointing back at k.
+  std::vector<mpisim::Transfer> transfers;
+  for (grid::DistField* f : {&mutableA.cc(), &mutableA.cw(), &mutableA.ce(),
+                             &mutableA.cs(), &mutableA.cn()}) {
+    auto t = f->exchange_ghosts();
+    f->apply_bc(grid::BcKind::Dirichlet0);
+    transfers.insert(transfers.end(), t.begin(), t.end());
+  }
+  ctx.exchange(transfers, "mpi_halo");
+
+  const auto& dec = A.decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    for (int s = 0; s < A.ns(); ++s) {
+      grid::TileView cc = mutableA.cc().view(r, s);
+      grid::TileView cw = mutableA.cw().view(r, s);
+      grid::TileView ce = mutableA.ce().view(r, s);
+      grid::TileView cs = mutableA.cs().view(r, s);
+      grid::TileView cn = mutableA.cn().view(r, s);
+      grid::TileView mv = m_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          // Column k entries: diagonal plus each neighbour's coefficient
+          // toward k (ghost coefficients at the domain edge are zero).
+          const double d = cc(li, lj);
+          const double col[5] = {d, ce(li - 1, lj), cw(li + 1, lj),
+                                 cn(li, lj - 1), cs(li, lj + 1)};
+          double norm2 = 0.0;
+          for (double v : col) norm2 += v * v;
+          mv(li, lj) = norm2 > 0.0 ? d / norm2 : 1.0;
+        }
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * A.ns();
+    // ~12 flops/zone, 5 coefficient reads, 1 write.
+    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "precond-build",
+                         elements, 12, 40, 8, elements * 48);
+  }
+}
+
+void Spai0Precond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
+  const auto& dec = x.field().decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    const auto n = static_cast<std::size_t>(e.ni);
+    for (int s = 0; s < x.ns(); ++s) {
+      grid::TileView xv = x.field().view(r, s);
+      grid::TileView yv = y.field().view(r, s);
+      grid::TileView mv = m_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        hadamard(ctx.vctx, std::span<const double>(mv.row(lj), n),
+                 std::span<const double>(xv.row(lj), n),
+                 std::span<double>(yv.row(lj), n));
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
+    ctx.commit(r, KernelFamily::Precond, "precond", elements,
+               x.working_set(r, 3));
+  }
+}
+
+// --- SPAI(1) --------------------------------------------------------------------
+
+namespace {
+
+/// Solve the n×n SPD system G·m = rhs in place by Cholesky; returns false
+/// if G is not positive definite.
+bool cholesky_solve(std::array<std::array<double, 5>, 5>& G,
+                    std::array<double, 5>& rhs, int n) {
+  // Factor G = L·Lᵀ.
+  for (int k = 0; k < n; ++k) {
+    double d = G[k][k];
+    for (int p = 0; p < k; ++p) d -= G[k][p] * G[k][p];
+    if (!(d > 0.0)) return false;
+    const double l = std::sqrt(d);
+    G[k][k] = l;
+    for (int i = k + 1; i < n; ++i) {
+      double v = G[i][k];
+      for (int p = 0; p < k; ++p) v -= G[i][p] * G[k][p];
+      G[i][k] = v / l;
+    }
+  }
+  // Forward solve L·z = rhs.
+  for (int i = 0; i < n; ++i) {
+    double v = rhs[i];
+    for (int p = 0; p < i; ++p) v -= G[i][p] * rhs[p];
+    rhs[i] = v / G[i][i];
+  }
+  // Back solve Lᵀ·m = z.
+  for (int i = n - 1; i >= 0; --i) {
+    double v = rhs[i];
+    for (int p = i + 1; p < n; ++p) v -= G[p][i] * rhs[p];
+    rhs[i] = v / G[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+SpaiPrecond::SpaiPrecond(ExecContext& ctx, const StencilOperator& A)
+    : m_(A.grid(), A.decomp(), A.ns()) {
+  auto& mutableA = const_cast<StencilOperator&>(A);
+  // Neighbour coefficients are needed across tile interfaces.
+  std::vector<mpisim::Transfer> transfers;
+  for (grid::DistField* f : {&mutableA.cc(), &mutableA.cw(), &mutableA.ce(),
+                             &mutableA.cs(), &mutableA.cn()}) {
+    auto t = f->exchange_ghosts();
+    f->apply_bc(grid::BcKind::Dirichlet0);
+    transfers.insert(transfers.end(), t.begin(), t.end());
+  }
+  ctx.exchange(transfers, "mpi_halo");
+
+  const grid::Grid2D& g = A.grid();
+  const auto& dec = A.decomp();
+  // Pattern slots: 0 = C, 1 = W, 2 = E, 3 = S, 4 = N.
+  const int di[5] = {0, -1, 1, 0, 0};
+  const int dj[5] = {0, 0, 0, -1, 1};
+
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    for (int s = 0; s < A.ns(); ++s) {
+      grid::TileView cc = mutableA.cc().view(r, s);
+      grid::TileView cw = mutableA.cw().view(r, s);
+      grid::TileView ce = mutableA.ce().view(r, s);
+      grid::TileView cs = mutableA.cs().view(r, s);
+      grid::TileView cn = mutableA.cn().view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          const int gi = e.i0 + li, gj = e.j0 + lj;
+          // Active pattern slots (drop neighbours outside the domain).
+          int slots[5];
+          int np = 0;
+          for (int q = 0; q < 5; ++q) {
+            const int qi = gi + di[q], qj = gj + dj[q];
+            if (qi >= 0 && qi < g.nx1() && qj >= 0 && qj < g.nx2())
+              slots[np++] = q;
+          }
+          // B[p][q] = A(zone_p, zone_q) over the active pattern.  Both
+          // indices are pattern slots; zone_p's coefficient toward zone_q
+          // depends on their relative offset.
+          auto coeff = [&](int p, int q) -> double {
+            const int pi = li + di[p], pj = lj + dj[p];
+            const int ddi = di[q] - di[p], ddj = dj[q] - dj[p];
+            if (ddi == 0 && ddj == 0) return cc(pi, pj);
+            if (ddi == -1 && ddj == 0) return cw(pi, pj);
+            if (ddi == 1 && ddj == 0) return ce(pi, pj);
+            if (ddi == 0 && ddj == -1) return cs(pi, pj);
+            if (ddi == 0 && ddj == 1) return cn(pi, pj);
+            return 0.0;  // not adjacent
+          };
+          std::array<std::array<double, 5>, 5> B{};
+          for (int p = 0; p < np; ++p)
+            for (int q = 0; q < np; ++q) B[p][q] = coeff(slots[p], slots[q]);
+          // Normal equations G = BᵀB, rhs = Bᵀ·e_C (center is slot 0 and,
+          // because slot 0 always lies inside the domain, pattern index 0).
+          std::array<std::array<double, 5>, 5> G{};
+          std::array<double, 5> rhs{};
+          for (int p = 0; p < np; ++p) {
+            for (int q = 0; q < np; ++q) {
+              double acc = 0.0;
+              for (int t = 0; t < np; ++t) acc += B[t][p] * B[t][q];
+              G[p][q] = acc;
+            }
+            rhs[p] = B[0][p];  // e_C picks row 0 of B
+          }
+          std::array<double, 5> m = rhs;
+          if (!cholesky_solve(G, m, np)) {
+            // Degenerate local block: fall back to Jacobi for this column.
+            m.fill(0.0);
+            const double d = cc(li, lj);
+            m[0] = d != 0.0 ? 1.0 / d : 1.0;
+          }
+          // Scatter column entries M[zone_p, zone_k] into row-major
+          // stencil storage of M: entry at row zone_p pointing toward the
+          // center zone_k sits in the band opposite to slot p.
+          for (int p = 0; p < np; ++p) {
+            const int q = slots[p];
+            const int pgi = gi + di[q], pgj = gj + dj[q];
+            switch (q) {
+              case 0: m_.cc().gset(s, pgi, pgj, m[p]); break;
+              case 1: m_.ce().gset(s, pgi, pgj, m[p]); break;  // row W → E
+              case 2: m_.cw().gset(s, pgi, pgj, m[p]); break;  // row E → W
+              case 3: m_.cn().gset(s, pgi, pgj, m[p]); break;  // row S → N
+              case 4: m_.cs().gset(s, pgi, pgj, m[p]); break;  // row N → S
+            }
+          }
+        }
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * A.ns();
+    // ~350 flops/zone (B, BᵀB, 5×5 Cholesky, two solves), ~15 doubles read,
+    // 5 written.
+    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "precond-build",
+                         elements, 350, 120, 40, elements * 160);
+  }
+}
+
+void SpaiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
+  m_.apply_as(ctx, x, y, KernelFamily::Precond, "precond");
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& kind,
+                                                    ExecContext& ctx,
+                                                    const StencilOperator& A) {
+  if (kind == "identity") return std::make_unique<IdentityPrecond>();
+  if (kind == "jacobi") return std::make_unique<JacobiPrecond>(ctx, A);
+  if (kind == "spai0") return std::make_unique<Spai0Precond>(ctx, A);
+  if (kind == "spai") return std::make_unique<SpaiPrecond>(ctx, A);
+  throw Error("unknown preconditioner '" + kind +
+              "' (expected identity|jacobi|spai0|spai)");
+}
+
+}  // namespace v2d::linalg

@@ -1,0 +1,95 @@
+#pragma once
+/// \file precond.hpp
+/// \brief Preconditioners for the V2D Krylov solvers.
+///
+/// The production preconditioner is the sparse approximate inverse of
+/// Swesty, Smolarski & Saylor (ApJS 153:369, 2004): M ≈ A⁻¹ with the same
+/// five-point stencil sparsity as A, each column obtained from a small
+/// least-squares problem solved independently per zone — embarrassingly
+/// parallel, no triangular solves, and its application is just another
+/// stencil sweep (which is why the paper sees SVE speedup in it).
+/// Jacobi and identity are included as baselines for the ablation bench.
+
+#include <memory>
+#include <string>
+
+#include "linalg/stencil_op.hpp"
+
+namespace v2d::linalg {
+
+class Preconditioner {
+public:
+  virtual ~Preconditioner() = default;
+
+  /// y ← M·x.  `x` mutable for ghost refresh (stencil-shaped M).
+  virtual void apply(ExecContext& ctx, DistVector& x, DistVector& y) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// M = I (no preconditioning).
+class IdentityPrecond final : public Preconditioner {
+public:
+  void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  std::string name() const override { return "identity"; }
+};
+
+/// M = diag(A)⁻¹.
+class JacobiPrecond final : public Preconditioner {
+public:
+  /// Build from the operator's diagonal; `ctx` prices the build.
+  JacobiPrecond(ExecContext& ctx, const StencilOperator& A);
+
+  void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  std::string name() const override { return "jacobi"; }
+
+private:
+  grid::DistField dinv_;
+};
+
+/// Diagonal-pattern sparse approximate inverse — SPAI(0).  Column k is
+/// the scalar m_k minimizing ‖A·m_k·e_k − e_k‖₂, i.e.
+/// m_k = a_kk / Σ_i a_ik², computed from the operator's column entries
+/// (which requires the neighbours' coefficients, ghost-exchanged).  This
+/// is V2D's production preconditioner profile: its application is a
+/// pointwise multiply, an order of magnitude cheaper than the matvec,
+/// matching the paper's 14 s preconditioning vs 141 s matvec split.
+class Spai0Precond final : public Preconditioner {
+public:
+  Spai0Precond(ExecContext& ctx, const StencilOperator& A);
+
+  void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  std::string name() const override { return "spai0"; }
+
+  const grid::DistField& diagonal() const { return m_; }
+
+private:
+  grid::DistField m_;
+};
+
+/// Stencil-pattern sparse approximate inverse — SPAI(1): column m_k
+/// minimizes ‖A[J,J]·m − e_k‖₂ over the five-point pattern J(k), via 5×5
+/// normal equations solved by Cholesky, independently per zone.  Stronger
+/// than SPAI(0) per iteration but its application costs a full stencil
+/// sweep; the preconditioner ablation bench compares the two.
+class SpaiPrecond final : public Preconditioner {
+public:
+  /// Build M from A; `ctx` prices the construction (PrecondBuild family).
+  SpaiPrecond(ExecContext& ctx, const StencilOperator& A);
+
+  void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  std::string name() const override { return "spai"; }
+
+  /// The approximate inverse as a stencil operator (tests inspect it).
+  const StencilOperator& stencil() const { return m_; }
+
+private:
+  StencilOperator m_;
+};
+
+/// Factory by short name: "identity" | "jacobi" | "spai0" | "spai".
+std::unique_ptr<Preconditioner> make_preconditioner(const std::string& kind,
+                                                    ExecContext& ctx,
+                                                    const StencilOperator& A);
+
+}  // namespace v2d::linalg

@@ -1,0 +1,160 @@
+#include "linalg/stencil_op.hpp"
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace v2d::linalg {
+
+using compiler::KernelFamily;
+
+StencilOperator::StencilOperator(const grid::Grid2D& g,
+                                 const grid::Decomposition& d, int ns)
+    : grid_(&g),
+      dec_(&d),
+      ns_(ns),
+      cc_(g, d, ns, 1),
+      cw_(g, d, ns, 1),
+      ce_(g, d, ns, 1),
+      cs_(g, d, ns, 1),
+      cn_(g, d, ns, 1) {}
+
+void StencilOperator::enable_coupling() {
+  V2D_REQUIRE(ns_ == 2, "species coupling is defined for ns == 2");
+  if (!csp_) csp_ = std::make_unique<grid::DistField>(*grid_, *dec_, ns_, 1);
+}
+
+grid::DistField& StencilOperator::csp() {
+  V2D_REQUIRE(csp_, "coupling not enabled");
+  return *csp_;
+}
+
+const grid::DistField& StencilOperator::csp() const {
+  V2D_REQUIRE(csp_, "coupling not enabled");
+  return *csp_;
+}
+
+void StencilOperator::zero_boundary_coefficients() {
+  const int gnx1 = grid_->nx1();
+  const int gnx2 = grid_->nx2();
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const grid::TileExtent& e = dec_->extent(r);
+    for (int s = 0; s < ns_; ++s) {
+      grid::TileView w = cw_.view(r, s), ev = ce_.view(r, s);
+      grid::TileView sv = cs_.view(r, s), nv = cn_.view(r, s);
+      if (e.i0 == 0)
+        for (int lj = 0; lj < e.nj; ++lj) w(0, lj) = 0.0;
+      if (e.i0 + e.ni == gnx1)
+        for (int lj = 0; lj < e.nj; ++lj) ev(e.ni - 1, lj) = 0.0;
+      if (e.j0 == 0)
+        for (int li = 0; li < e.ni; ++li) sv(li, 0) = 0.0;
+      if (e.j0 + e.nj == gnx2)
+        for (int li = 0; li < e.ni; ++li) nv(li, e.nj - 1) = 0.0;
+    }
+  }
+}
+
+void StencilOperator::apply(ExecContext& ctx, DistVector& x,
+                            DistVector& y) const {
+  apply_as(ctx, x, y, KernelFamily::Matvec, "matvec");
+}
+
+void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
+                               KernelFamily family,
+                               const std::string& region) const {
+  V2D_REQUIRE(x.ns() == ns_ && y.ns() == ns_, "species count mismatch");
+
+  // The halo exchange is part of the matrix-free product.
+  grid::DistField& xf = x.field();
+  const auto transfers = xf.exchange_ghosts();
+  xf.apply_bc(grid::BcKind::Dirichlet0);  // BCs are folded into coefficients
+  ctx.exchange(transfers);
+
+  auto* self = const_cast<StencilOperator*>(this);
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const grid::TileExtent& e = dec_->extent(r);
+    const auto n = static_cast<std::size_t>(e.ni);
+    for (int s = 0; s < ns_; ++s) {
+      grid::TileView xv = xf.view(r, s);
+      grid::TileView yv = y.field().view(r, s);
+      grid::TileView vcc = self->cc_.view(r, s);
+      grid::TileView vcw = self->cw_.view(r, s);
+      grid::TileView vce = self->ce_.view(r, s);
+      grid::TileView vcs = self->cs_.view(r, s);
+      grid::TileView vcn = self->cn_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        stencil_row(ctx.vctx, std::span<const double>(vcc.row(lj), n),
+                    std::span<const double>(vcw.row(lj), n),
+                    std::span<const double>(vce.row(lj), n),
+                    std::span<const double>(vcs.row(lj), n),
+                    std::span<const double>(vcn.row(lj), n), xv.row(lj),
+                    xv.row(lj - 1), xv.row(lj + 1),
+                    std::span<double>(yv.row(lj), n));
+      }
+      if (csp_) {
+        grid::TileView vsp = self->csp_->view(r, s);
+        grid::TileView xo = xf.view(r, 1 - s);
+        for (int lj = 0; lj < e.nj; ++lj) {
+          coupling_row(ctx.vctx, std::span<const double>(vsp.row(lj), n),
+                       xo.row(lj), std::span<double>(yv.row(lj), n));
+        }
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns_;
+    if (eval_doubles_read_ > 0 || eval_flops_ > 0) {
+      // On-the-fly coefficient evaluation: mostly state/table reads plus
+      // a little arithmetic, per element (see kMatvecEval* docs).
+      ctx.vctx.record_external(sim::OpClass::LoadContig,
+                               elements * eval_doubles_read_,
+                               elements * eval_doubles_read_ * sizeof(double),
+                               0);
+      ctx.vctx.record_external(sim::OpClass::FlopFma,
+                               elements * eval_flops_ / 2, 0, 0);
+    }
+    // Working set: x (with ghosts), y, five coefficient arrays (+coupling).
+    // The on-the-fly evaluation's table/state reads revisit the same zones
+    // every sweep, so they add traffic (bytes_moved) but not footprint.
+    const int arrays = 7 + (csp_ ? 1 : 0);
+    ctx.commit(r, family, region, elements, y.working_set(r, arrays));
+  }
+}
+
+BandedMatrix StencilOperator::assemble() const {
+  const std::int64_t nx1 = grid_->nx1();
+  const std::int64_t plane = nx1 * grid_->nx2();
+  std::vector<std::int64_t> offsets = {0, -1, 1, -nx1, nx1};
+  if (csp_) {
+    offsets.push_back(-plane);
+    offsets.push_back(plane);
+  }
+  BandedMatrix A(size(), std::move(offsets));
+
+  auto* self = const_cast<StencilOperator*>(this);
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const grid::TileExtent& e = dec_->extent(r);
+    for (int s = 0; s < ns_; ++s) {
+      grid::TileView vcc = self->cc_.view(r, s);
+      grid::TileView vcw = self->cw_.view(r, s);
+      grid::TileView vce = self->ce_.view(r, s);
+      grid::TileView vcs = self->cs_.view(r, s);
+      grid::TileView vcn = self->cn_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          const int gi = e.i0 + li, gj = e.j0 + lj;
+          const std::int64_t row = grid_->linear_index(s, gi, gj);
+          A.at(row, 0) = vcc(li, lj);
+          if (gi > 0) A.at(row, -1) = vcw(li, lj);
+          if (gi + 1 < nx1) A.at(row, 1) = vce(li, lj);
+          if (gj > 0) A.at(row, -nx1) = vcs(li, lj);
+          if (gj + 1 < grid_->nx2()) A.at(row, nx1) = vcn(li, lj);
+          if (csp_) {
+            grid::TileView vsp = self->csp_->view(r, s);
+            A.at(row, s == 0 ? plane : -plane) = vsp(li, lj);
+          }
+        }
+      }
+    }
+  }
+  return A;
+}
+
+}  // namespace v2d::linalg

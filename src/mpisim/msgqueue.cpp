@@ -1,0 +1,103 @@
+#include "mpisim/msgqueue.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace v2d::mpisim {
+
+MsgQueueSim::MsgQueueSim(NetCost net, int nranks)
+    : net_(std::move(net)), clock_(static_cast<std::size_t>(nranks), 0.0) {
+  V2D_REQUIRE(nranks >= 1, "need at least one rank");
+}
+
+void MsgQueueSim::compute(int rank, double seconds) {
+  V2D_REQUIRE(seconds >= 0.0, "compute time cannot be negative");
+  clock_.at(static_cast<std::size_t>(rank)) += seconds;
+}
+
+int MsgQueueSim::isend(int src, int dst, int tag, std::uint64_t bytes) {
+  V2D_REQUIRE(src != dst, "self-messages are not modeled");
+  const int id = static_cast<int>(reqs_.size());
+  reqs_.push_back(Req{src, dst, tag, /*is_send=*/true, bytes,
+                      clock_.at(static_cast<std::size_t>(src)), false, -1,
+                      false});
+  ++pending_;
+  try_match(id);
+  return id;
+}
+
+int MsgQueueSim::irecv(int dst, int src, int tag) {
+  V2D_REQUIRE(src != dst, "self-messages are not modeled");
+  const int id = static_cast<int>(reqs_.size());
+  reqs_.push_back(Req{dst, src, tag, /*is_send=*/false, 0,
+                      clock_.at(static_cast<std::size_t>(dst)), false, -1,
+                      false});
+  ++pending_;
+  try_match(id);
+  return id;
+}
+
+void MsgQueueSim::try_match(int id) {
+  Req& r = reqs_[static_cast<std::size_t>(id)];
+  const Key key = r.is_send ? Key{r.owner, r.peer, r.tag}
+                            : Key{r.peer, r.owner, r.tag};
+  auto& own_queue = r.is_send ? unmatched_sends_[key] : unmatched_recvs_[key];
+  auto& other_queue = r.is_send ? unmatched_recvs_[key] : unmatched_sends_[key];
+  if (!other_queue.empty()) {
+    const int other = other_queue.front();
+    other_queue.pop_front();
+    Req& o = reqs_[static_cast<std::size_t>(other)];
+    r.matched = o.matched = true;
+    r.match = other;
+    o.match = id;
+    if (!r.is_send) r.bytes = o.bytes;
+    if (r.is_send) o.bytes = r.bytes;
+  } else {
+    own_queue.push_back(id);
+  }
+}
+
+double MsgQueueSim::completion_time(const Req& r) const {
+  V2D_REQUIRE(r.matched, "wait on an unmatched request (deadlock)");
+  const Req& o = reqs_[static_cast<std::size_t>(r.match)];
+  const Req& send = r.is_send ? r : o;
+  const Req& recv = r.is_send ? o : r;
+  const double wire = net_.pt2pt(send.owner, recv.owner, send.bytes);
+  const bool eager = send.bytes <= NetCost::kEagerLimit;
+  if (eager) {
+    // Eager: the payload leaves as soon as the send is posted; the sender
+    // only pays injection (half the wire time); the receiver completes
+    // when the data has both arrived and been claimed.
+    const double arrival = send.post_time + wire;
+    if (r.is_send) return send.post_time + 0.5 * wire;
+    return std::max(recv.post_time, arrival);
+  }
+  // Rendezvous: transfer starts once both sides are ready; both complete
+  // together.  `wire` already includes the handshake latency.
+  const double start = std::max(send.post_time, recv.post_time);
+  return start + wire;
+}
+
+double MsgQueueSim::wait(int request) {
+  Req& r = reqs_.at(static_cast<std::size_t>(request));
+  if (r.complete) return clock_.at(static_cast<std::size_t>(r.owner));
+  const double done = completion_time(r);
+  r.complete = true;
+  --pending_;
+  auto& clk = clock_.at(static_cast<std::size_t>(r.owner));
+  clk = std::max(clk, done);
+  return clk;
+}
+
+void MsgQueueSim::wait_all() {
+  for (int id = 0; id < static_cast<int>(reqs_.size()); ++id) {
+    if (!reqs_[static_cast<std::size_t>(id)].complete) wait(id);
+  }
+}
+
+double MsgQueueSim::clock(int rank) const {
+  return clock_.at(static_cast<std::size_t>(rank));
+}
+
+}  // namespace v2d::mpisim

@@ -1,0 +1,72 @@
+#pragma once
+/// \file msgqueue.hpp
+/// \brief Event-level simulator of nonblocking point-to-point messaging.
+///
+/// Where ExecModel uses closed-form phase costs, MsgQueueSim plays out
+/// individual isend/irecv/wait sequences with eager vs rendezvous protocol
+/// semantics and per-rank clocks.  It exists to validate the analytic
+/// exchange model (tests cross-check the two on halo patterns) and to let
+/// examples demonstrate protocol effects (eager limit crossover).
+///
+/// Usage is deterministic and sequential: post the sends/recvs of all
+/// involved ranks, then wait on the requests.  Waiting on a receive whose
+/// matching send was never posted is an error (a real deadlock).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "mpisim/netcost.hpp"
+
+namespace v2d::mpisim {
+
+class MsgQueueSim {
+public:
+  MsgQueueSim(NetCost net, int nranks);
+
+  /// Advance a rank's local clock by `seconds` of compute.
+  void compute(int rank, double seconds);
+
+  /// Nonblocking send/recv; returns a request handle.
+  int isend(int src, int dst, int tag, std::uint64_t bytes);
+  int irecv(int dst, int src, int tag);
+
+  /// Complete a request; advances the owning rank's clock to the
+  /// completion time and returns it.
+  double wait(int request);
+
+  /// Complete every outstanding request (order-independent result).
+  void wait_all();
+
+  double clock(int rank) const;
+  int pending() const { return pending_; }
+
+private:
+  struct Req {
+    int owner = 0;       // rank whose clock this request belongs to
+    int peer = 0;
+    int tag = 0;
+    bool is_send = false;
+    std::uint64_t bytes = 0;
+    double post_time = 0.0;
+    bool matched = false;
+    int match = -1;      // request id of the counterpart
+    bool complete = false;
+  };
+
+  using Key = std::tuple<int, int, int>;  // src, dst, tag
+
+  void try_match(int id);
+  double completion_time(const Req& r) const;
+
+  NetCost net_;
+  std::vector<double> clock_;
+  std::vector<Req> reqs_;
+  std::map<Key, std::deque<int>> unmatched_sends_;
+  std::map<Key, std::deque<int>> unmatched_recvs_;
+  int pending_ = 0;
+};
+
+}  // namespace v2d::mpisim

@@ -1,0 +1,32 @@
+#include "mpisim/netcost.hpp"
+
+#include <cmath>
+
+namespace v2d::mpisim {
+
+double NetCost::pt2pt(int src, int dst, std::uint64_t bytes) const {
+  const bool inter = !placement_.same_node(src, dst);
+  double t = latency(inter) + static_cast<double>(bytes) / stack_.bandwidth_Bps;
+  if (bytes > kEagerLimit) t += latency(inter);  // rendezvous handshake
+  return t;
+}
+
+double NetCost::allreduce(std::uint64_t bytes) const {
+  const int p = placement_.nranks();
+  if (p <= 1) return 0.0;
+  const int stages = static_cast<int>(std::ceil(std::log2(p)));
+  const bool inter = placement_.nodes_used() > 1;
+  const double per_stage = latency(inter) +
+                           static_cast<double>(bytes) / stack_.bandwidth_Bps +
+                           stack_.allreduce_stage_overhead_s;
+  // Progress-engine / unexpected-message-queue cost: grows quadratically
+  // with communicator size (normalized so the coefficient is the per-rank
+  // cost at one full node).  This is what makes the Cray and GNU stacks
+  // regress beyond ~25–40 ranks in Table I while Fujitsu keeps scaling.
+  const double progress = stack_.per_rank_overhead_s *
+                          static_cast<double>(p) * p /
+                          placement_.cores_per_node();
+  return stages * per_stage + progress;
+}
+
+}  // namespace v2d::mpisim

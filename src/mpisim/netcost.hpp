@@ -1,0 +1,49 @@
+#pragma once
+/// \file netcost.hpp
+/// \brief Analytic communication cost model for one MPI stack.
+///
+/// Hockney-style pt2pt (α + n/β with eager/rendezvous split) and a
+/// recursive-doubling allreduce with a per-stage software overhead plus a
+/// communicator-size-dependent progress cost.  Constants come from the
+/// compiler profile's MpiStackModel (each compiler on Ookami was paired
+/// with a particular MPI implementation).
+
+#include <cstdint>
+
+#include "compiler/profile.hpp"
+#include "mpisim/placement.hpp"
+
+namespace v2d::mpisim {
+
+class NetCost {
+public:
+  NetCost(compiler::MpiStackModel stack, const Placement& placement)
+      : stack_(std::move(stack)), placement_(placement) {}
+
+  const compiler::MpiStackModel& stack() const { return stack_; }
+
+  /// Rendezvous protocol threshold (bytes) — above it an extra handshake
+  /// round-trip is charged, as in MPICH/OpenMPI defaults.
+  static constexpr std::uint64_t kEagerLimit = 16 * 1024;
+
+  /// Point-to-point message time between two ranks.
+  double pt2pt(int src, int dst, std::uint64_t bytes) const;
+
+  /// Allreduce across all placed ranks of `count` doubles (V2D gangs its
+  /// inner products, so count is often 2 or 4).
+  double allreduce(std::uint64_t bytes) const;
+
+  /// Barrier: allreduce of zero payload.
+  double barrier() const { return allreduce(0); }
+
+private:
+  double latency(bool inter_node) const {
+    return inter_node ? stack_.latency_inter_node_s
+                      : stack_.latency_intra_node_s;
+  }
+
+  compiler::MpiStackModel stack_;
+  Placement placement_;
+};
+
+}  // namespace v2d::mpisim

@@ -1,0 +1,69 @@
+#pragma once
+/// \file placement.hpp
+/// \brief Mapping of simulated ranks onto A64FX cores / CMGs / nodes.
+///
+/// Ookami schedules MPI ranks block-wise onto cores: rank r lands on core
+/// r % 48 of node r / 48, and core c belongs to CMG c / 12.  The placement
+/// determines (a) how many ranks share a CMG's L2 and HBM bandwidth and
+/// (b) whether a message crosses the HDR100 fabric.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace v2d::mpisim {
+
+class Placement {
+public:
+  Placement(int nranks, int cores_per_cmg = 12, int cmgs_per_node = 4)
+      : nranks_(nranks),
+        cores_per_cmg_(cores_per_cmg),
+        cmgs_per_node_(cmgs_per_node) {
+    V2D_REQUIRE(nranks >= 1, "need at least one rank");
+    V2D_REQUIRE(cores_per_cmg >= 1 && cmgs_per_node >= 1, "bad node shape");
+  }
+
+  int nranks() const { return nranks_; }
+  int cores_per_node() const { return cores_per_cmg_ * cmgs_per_node_; }
+
+  int node_of(int rank) const { return check(rank) / cores_per_node(); }
+
+  /// Within a node, ranks are scattered cyclically across the four CMGs
+  /// (Ookami's recommended binding for memory-bound codes, which the
+  /// study's near-linear small-P scaling implies): local rank l sits on
+  /// CMG l % 4 of its node.
+  int cmg_of(int rank) const {
+    const int local = check(rank) % cores_per_node();
+    return node_of(rank) * cmgs_per_node_ + local % cmgs_per_node_;
+  }
+
+  /// Ranks co-resident on `rank`'s CMG (including itself) — the number of
+  /// cores contending for that CMG's L2 capacity and HBM bandwidth.
+  int ranks_on_cmg(int rank) const {
+    const int node = node_of(rank);
+    const int node_first = node * cores_per_node();
+    const int node_ranks =
+        std::min(nranks_ - node_first, cores_per_node());
+    const int my_cmg_local = (rank - node_first) % cmgs_per_node_;
+    // Cyclic scatter: CMG c of this node holds ceil/floor share.
+    const int base = node_ranks / cmgs_per_node_;
+    const int extra = node_ranks % cmgs_per_node_;
+    return base + (my_cmg_local < extra ? 1 : 0);
+  }
+
+  int nodes_used() const { return (nranks_ - 1) / cores_per_node() + 1; }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+private:
+  int check(int rank) const {
+    V2D_REQUIRE(rank >= 0 && rank < nranks_, "rank out of range");
+    return rank;
+  }
+  int nranks_;
+  int cores_per_cmg_;
+  int cmgs_per_node_;
+};
+
+}  // namespace v2d::mpisim

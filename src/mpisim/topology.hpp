@@ -1,0 +1,80 @@
+#pragma once
+/// \file topology.hpp
+/// \brief Cartesian 2-D process topology (V2D's NPRX1 × NPRX2 decomposition).
+///
+/// Ranks are laid out in dictionary order, x1 fastest — the same ordering
+/// V2D uses for its tiles, so rank r owns tile (r % nprx1, r / nprx1).
+
+#include <cstdint>
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace v2d::mpisim {
+
+/// Neighbour directions on the 2-D grid.
+enum class Dir : std::uint8_t { West = 0, East, South, North };
+
+inline constexpr int kNumDirs = 4;
+
+inline Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::West: return Dir::East;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::North: return Dir::South;
+  }
+  V2D_FAIL("bad direction");
+}
+
+class CartTopology {
+public:
+  CartTopology(int nprx1, int nprx2) : nprx1_(nprx1), nprx2_(nprx2) {
+    V2D_REQUIRE(nprx1 >= 1 && nprx2 >= 1, "topology extents must be >= 1");
+  }
+
+  int nprx1() const { return nprx1_; }
+  int nprx2() const { return nprx2_; }
+  int size() const { return nprx1_ * nprx2_; }
+
+  int rank_of(int px1, int px2) const {
+    V2D_REQUIRE(px1 >= 0 && px1 < nprx1_ && px2 >= 0 && px2 < nprx2_,
+                "tile coordinates out of range");
+    return px1 + nprx1_ * px2;
+  }
+
+  int px1_of(int rank) const { return check_rank(rank) % nprx1_; }
+  int px2_of(int rank) const { return check_rank(rank) / nprx1_; }
+
+  /// Neighbour rank in direction d, or nullopt at the domain boundary
+  /// (V2D's radiation test problem uses non-periodic boundaries).
+  std::optional<int> neighbor(int rank, Dir d) const {
+    int i = px1_of(rank), j = px2_of(rank);
+    switch (d) {
+      case Dir::West: i -= 1; break;
+      case Dir::East: i += 1; break;
+      case Dir::South: j -= 1; break;
+      case Dir::North: j += 1; break;
+    }
+    if (i < 0 || i >= nprx1_ || j < 0 || j >= nprx2_) return std::nullopt;
+    return rank_of(i, j);
+  }
+
+  /// Number of off-boundary neighbours (2, 3 or 4).
+  int degree(int rank) const {
+    int n = 0;
+    for (int d = 0; d < kNumDirs; ++d)
+      if (neighbor(rank, static_cast<Dir>(d))) ++n;
+    return n;
+  }
+
+private:
+  int check_rank(int rank) const {
+    V2D_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+    return rank;
+  }
+  int nprx1_;
+  int nprx2_;
+};
+
+}  // namespace v2d::mpisim

@@ -1,0 +1,78 @@
+#include "perfmon/papi.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace v2d::perfmon {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::TotalCycles: return "PAPI_TOT_CYC";
+    case Event::FpOps: return "PAPI_DP_OPS";
+    case Event::LoadStoreInstr: return "PAPI_LST_INS";
+    case Event::VectorInstr: return "SVE_INST_RETIRED";
+    case Event::BytesRead: return "BYTES_READ";
+    case Event::BytesWritten: return "BYTES_WRITTEN";
+    case Event::kCount: break;
+  }
+  return "?";
+}
+
+EventValues read_counters(const sim::CostLedger& ledger) {
+  EventValues v{};
+  std::uint64_t lst = 0;
+  std::uint64_t vec = 0;
+  for (const auto& [_, r] : ledger.regions()) {
+    using sim::OpClass;
+    auto instr = [&](OpClass c) {
+      return r.counts.instr[static_cast<std::size_t>(c)];
+    };
+    lst += instr(OpClass::LoadContig) + instr(OpClass::StoreContig) +
+           instr(OpClass::LoadGather) + instr(OpClass::StoreScatter);
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i) {
+      const auto c = static_cast<OpClass>(i);
+      if (c != OpClass::IntOp && c != OpClass::Branch &&
+          c != OpClass::Predicate) {
+        vec += r.counts.instr[i];
+      }
+    }
+  }
+  const auto set = [&v](Event e, std::uint64_t x) {
+    v[static_cast<std::size_t>(e)] = x;
+  };
+  set(Event::TotalCycles,
+      static_cast<std::uint64_t>(std::llround(ledger.total_cycles())));
+  set(Event::FpOps, ledger.total_flops());
+  set(Event::LoadStoreInstr, lst);
+  set(Event::VectorInstr, vec);
+  std::uint64_t br = 0, bw = 0;
+  for (const auto& [_, r] : ledger.regions()) {
+    br += r.counts.bytes_read;
+    bw += r.counts.bytes_written;
+  }
+  set(Event::BytesRead, br);
+  set(Event::BytesWritten, bw);
+  return v;
+}
+
+void EventSet::start(const sim::CostLedger& ledger) {
+  V2D_REQUIRE(!running_, "EventSet already running");
+  start_ = read_counters(ledger);
+  running_ = true;
+}
+
+EventValues EventSet::stop(const sim::CostLedger& ledger) {
+  V2D_REQUIRE(running_, "EventSet was not started");
+  running_ = false;
+  EventValues now = read_counters(ledger);
+  for (std::size_t i = 0; i < kNumEvents; ++i) now[i] -= start_[i];
+  return now;
+}
+
+double cycles_to_seconds(std::uint64_t cycles, double freq_hz) {
+  V2D_REQUIRE(freq_hz > 0.0, "frequency must be positive");
+  return static_cast<double>(cycles) / freq_hz;
+}
+
+}  // namespace v2d::perfmon

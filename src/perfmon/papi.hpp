@@ -1,0 +1,61 @@
+#pragma once
+/// \file papi.hpp
+/// \brief PAPI-like hardware-counter interface over simulated ledgers.
+///
+/// The paper reads kernel times "both from checking the hardware clock and
+/// by using PAPI software timers".  This module reproduces that interface:
+/// an EventSet is started against a sim::CostLedger, accumulates while the
+/// instrumented code runs, and stop() returns the counter deltas.  Counter
+/// values come from the cost model's accounting rather than real PMUs.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ledger.hpp"
+
+namespace v2d::perfmon {
+
+/// The subset of PAPI preset events the study used, plus SVE-specific ones.
+enum class Event : std::uint8_t {
+  TotalCycles = 0,   ///< PAPI_TOT_CYC
+  FpOps,             ///< PAPI_DP_OPS (double-precision flops, FMA = 2)
+  LoadStoreInstr,    ///< PAPI_LST_INS (memory instructions issued)
+  VectorInstr,       ///< SVE arithmetic+memory instructions
+  BytesRead,         ///< derived: bytes loaded
+  BytesWritten,      ///< derived: bytes stored
+  kCount
+};
+
+inline constexpr std::size_t kNumEvents = static_cast<std::size_t>(Event::kCount);
+
+const char* event_name(Event e);
+
+/// Counter snapshot (one value per Event).
+using EventValues = std::array<std::uint64_t, kNumEvents>;
+
+/// Extract the current counter values from a ledger.
+EventValues read_counters(const sim::CostLedger& ledger);
+
+/// PAPI-style start/stop against a live ledger.
+class EventSet {
+public:
+  /// Begin counting: snapshot the ledger.
+  void start(const sim::CostLedger& ledger);
+
+  /// Stop counting: return deltas since start().
+  EventValues stop(const sim::CostLedger& ledger);
+
+  bool running() const { return running_; }
+
+private:
+  EventValues start_{};
+  bool running_ = false;
+};
+
+/// Seconds implied by a cycle delta at `freq_hz` — the "PAPI software
+/// timer" the paper compares against the hardware clock.
+double cycles_to_seconds(std::uint64_t cycles, double freq_hz);
+
+}  // namespace v2d::perfmon

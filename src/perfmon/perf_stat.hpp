@@ -1,0 +1,25 @@
+#pragma once
+/// \file perf_stat.hpp
+/// \brief `perf stat`-style report formatting.
+///
+/// The paper times every Table I run with
+///   perf stat -e duration_time -e cpu-cycles <v2d ...>
+/// This formatter renders simulated results the same way, so the bench
+/// output reads like the raw measurements the authors collected.
+
+#include <cstdint>
+#include <string>
+
+namespace v2d::perfmon {
+
+struct PerfStatResult {
+  std::string command;        ///< the (simulated) command line
+  double duration_seconds = 0.0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t instructions = 0;  ///< optional; 0 = omit line
+};
+
+/// Render in the style of `perf stat` output.
+std::string format_perf_stat(const PerfStatResult& r);
+
+}  // namespace v2d::perfmon

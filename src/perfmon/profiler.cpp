@@ -1,0 +1,77 @@
+#include "perfmon/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace v2d::perfmon {
+
+Profiler::Profiler() : root_(std::make_unique<ProfileNode>()) {
+  root_->name = "";
+  current_ = root_.get();
+}
+
+void Profiler::enter(const std::string& name) {
+  V2D_REQUIRE(!name.empty(), "region name cannot be empty");
+  auto& slot = current_->children[name];
+  if (!slot) {
+    slot = std::make_unique<ProfileNode>();
+    slot->name = name;
+    slot->parent = current_;
+  }
+  current_ = slot.get();
+}
+
+void Profiler::exit(double elapsed_s) {
+  V2D_REQUIRE(current_ != root_.get(), "exit() without matching enter()");
+  V2D_REQUIRE(elapsed_s >= 0.0, "elapsed time cannot be negative");
+  current_->calls += 1;
+  current_->inclusive_s += elapsed_s;
+  current_ = current_->parent;
+}
+
+namespace {
+void collect(const ProfileNode& node, std::vector<Profiler::FlatEntry>& out,
+             double total) {
+  for (const auto& [_, child] : node.children) {
+    out.push_back(Profiler::FlatEntry{
+        child->path(), child->calls, child->exclusive_s(), child->inclusive_s,
+        total > 0.0 ? 100.0 * child->exclusive_s() / total : 0.0});
+    collect(*child, out, total);
+  }
+}
+}  // namespace
+
+std::vector<Profiler::FlatEntry> Profiler::flat() const {
+  double total = 0.0;
+  for (const auto& [_, c] : root_->children) total += c->inclusive_s;
+  std::vector<FlatEntry> out;
+  collect(*root_, out, total);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.exclusive_s != b.exclusive_s) return a.exclusive_s > b.exclusive_s;
+    return a.path < b.path;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  std::ostringstream os;
+  os << "%Time  Exclusive(s)  Inclusive(s)       Calls  Name\n";
+  for (const auto& e : flat()) {
+    os << std::fixed << std::setprecision(1) << std::setw(5) << e.exclusive_pct
+       << "  " << std::setprecision(3) << std::setw(12) << e.exclusive_s
+       << "  " << std::setw(12) << e.inclusive_s << "  " << std::setw(10)
+       << e.calls << "  " << e.path << '\n';
+  }
+  return os.str();
+}
+
+void Profiler::clear() {
+  root_ = std::make_unique<ProfileNode>();
+  root_->name = "";
+  current_ = root_.get();
+}
+
+}  // namespace v2d::perfmon

@@ -1,0 +1,91 @@
+#pragma once
+/// \file profiler.hpp
+/// \brief TAU/ParaProf-style call-path region profiler.
+///
+/// The study used TAU's ParaProf "to see which routines contributed most
+/// to the total time without the need to add additional routine calls".
+/// This profiler builds the same artifact: a call-path tree of named
+/// regions with call counts and inclusive/exclusive simulated time, plus a
+/// flat ParaProf-like text report sorted by exclusive time.
+///
+/// The driver reports elapsed simulated seconds explicitly on exit()
+/// because time advances in the ExecModel's clocks, not on the host.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace v2d::perfmon {
+
+struct ProfileNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  double inclusive_s = 0.0;
+  ProfileNode* parent = nullptr;
+  std::map<std::string, std::unique_ptr<ProfileNode>> children;
+
+  double exclusive_s() const {
+    double kids = 0.0;
+    for (const auto& [_, c] : children) kids += c->inclusive_s;
+    // Clamp tiny negative values from floating-point cancellation when
+    // children account for effectively all of the inclusive time.
+    return inclusive_s - kids > 0.0 ? inclusive_s - kids : 0.0;
+  }
+  std::string path() const {
+    if (!parent || parent->name.empty()) return name;
+    return parent->path() + " => " + name;
+  }
+};
+
+class Profiler {
+public:
+  Profiler();
+
+  /// Open a region (child of the currently open region).
+  void enter(const std::string& name);
+
+  /// Close the innermost region, attributing `elapsed_s` inclusive seconds
+  /// to this instance.
+  void exit(double elapsed_s);
+
+  /// RAII helper when the caller can compute elapsed time at scope end.
+  class Scope {
+  public:
+    Scope(Profiler& p, const std::string& name) : p_(p) { p_.enter(name); }
+    ~Scope() { p_.exit(elapsed_); }
+    void set_elapsed(double s) { elapsed_ = s; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    Profiler& p_;
+    double elapsed_ = 0.0;
+  };
+
+  bool open() const { return current_ != root_.get(); }
+  const ProfileNode& root() const { return *root_; }
+
+  /// Flat profile over all call paths, sorted by exclusive time descending
+  /// — the ParaProf default view.
+  struct FlatEntry {
+    std::string path;
+    std::uint64_t calls;
+    double exclusive_s;
+    double inclusive_s;
+    double exclusive_pct;  // of root inclusive
+  };
+  std::vector<FlatEntry> flat() const;
+
+  /// ParaProf-style text rendering of flat().
+  std::string report() const;
+
+  void clear();
+
+private:
+  std::unique_ptr<ProfileNode> root_;
+  ProfileNode* current_;
+};
+
+}  // namespace v2d::perfmon

@@ -1,0 +1,45 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Host wall-clock timer (for the native microbenches) and a
+/// stopwatch over simulated clocks.
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace v2d::perfmon {
+
+/// Real host time — used only where the repo measures *this machine*
+/// (bench_kernels_native), never for reproducing paper numbers.
+class WallTimer {
+public:
+  void start() { t0_ = clock::now(); running_ = true; }
+  double stop() {
+    V2D_REQUIRE(running_, "WallTimer was not started");
+    running_ = false;
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_{};
+  bool running_ = false;
+};
+
+/// Stopwatch over an externally-advancing simulated clock (an ExecModel
+/// rank clock): mark() then elapsed(now).
+class SimStopwatch {
+public:
+  void mark(double now_s) { t0_ = now_s; armed_ = true; }
+  double elapsed(double now_s) const {
+    V2D_REQUIRE(armed_, "SimStopwatch was not marked");
+    V2D_REQUIRE(now_s >= t0_, "simulated clock ran backwards");
+    return now_s - t0_;
+  }
+
+private:
+  double t0_ = 0.0;
+  bool armed_ = false;
+};
+
+}  // namespace v2d::perfmon

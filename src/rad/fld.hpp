@@ -1,0 +1,95 @@
+#pragma once
+/// \file fld.hpp
+/// \brief Multigroup flux-limited diffusion discretization.
+///
+/// Builds the backward-Euler finite-difference systems V2D solves.  For
+/// each radiation species s the diffusive evolution of the energy density
+/// E_s is
+///
+///   ∂E_s/∂t = ∇·(D_s ∇E_s) − c κ_a,s E_s + S_s ,   D_s = c λ(R)/κ_t,s
+///
+/// discretized with zone volumes V and face areas A on the orthogonal
+/// grid:
+///
+///   [V/Δt + Σ_f A_f D_f/δ_f + V c κ_a] E^{n+1} − Σ_f (A_f D_f/δ_f) E_nb
+///       = (V/Δt) Eⁿ + V S .
+///
+/// Face diffusion coefficients use harmonic means; the limiter argument
+/// R = |ΔE|/(δ κ_t max(E, floor)) is evaluated per face from the lagged
+/// field, which is why V2D re-solves with refreshed limiters (the
+/// predictor/corrector pair of the 3-solve timestep).  Domain-boundary
+/// faces carry zero flux (the coefficient is dropped), folding the
+/// physical BC into the matrix exactly as stencil_op.hpp requires.
+
+#include <cstdint>
+
+#include "grid/dist_field.hpp"
+#include "linalg/dist_vector.hpp"
+#include "linalg/stencil_op.hpp"
+#include "rad/limiter.hpp"
+#include "rad/opacity.hpp"
+
+namespace v2d::rad {
+
+struct FldConfig {
+  double c_light = 1.0;      ///< speed of light in code units
+  LimiterKind limiter = LimiterKind::LevermorePomraning;
+  double e_floor = 1.0e-30;  ///< floor in the limiter argument
+  bool include_absorption = true;
+  double radiation_constant = 1.0;  ///< a in B = a·T⁴ (emission)
+  double exchange_kappa = 0.0;      ///< species-exchange opacity (solve 3)
+  double cv = 1.0;                  ///< matter specific heat (coupling)
+};
+
+class FldBuilder {
+public:
+  FldBuilder(const grid::Grid2D& g, const grid::Decomposition& d, int ns,
+             OpacitySet opacities, FldConfig config);
+
+  const FldConfig& config() const { return config_; }
+  FldConfig& config() { return config_; }
+  const OpacitySet& opacities() const { return opacities_; }
+  int ns() const { return ns_; }
+
+  /// Material state (ns = 1 fields, zone-centred).
+  grid::DistField& density() { return rho_; }
+  grid::DistField& temperature() { return temp_; }
+  const grid::DistField& density() const { return rho_; }
+  const grid::DistField& temperature() const { return temp_; }
+
+  /// Fill the diffusion system for a step of size dt: A·E^{n+1} = rhs.
+  /// Limiters are evaluated from `e_limiter` (pass Eⁿ for the predictor,
+  /// the predictor result E* for the corrector); the right-hand side uses
+  /// the time-level-n field `e_old`.  Priced as Physics work.
+  void build_diffusion(linalg::ExecContext& ctx, linalg::DistVector& e_limiter,
+                       const linalg::DistVector& e_old, double dt,
+                       linalg::StencilOperator& A,
+                       linalg::DistVector& rhs) const;
+
+  /// Fill the radiation–matter / species-exchange system (the third solve
+  /// of each timestep): the same backward-Euler diffusion step re-solved
+  /// with limiters refreshed from `e_limiter` (the corrector result), plus
+  /// the species-exchange coupling and the emission source.  The rhs uses
+  /// the time-level-n field `e_old`, so the step advances exactly dt.
+  /// Requires ns == 2 and a coupling-enabled operator.
+  void build_coupling(linalg::ExecContext& ctx, linalg::DistVector& e_limiter,
+                      const linalg::DistVector& e_old, double dt,
+                      linalg::StencilOperator& A,
+                      linalg::DistVector& rhs) const;
+
+  /// Explicit matter-temperature update after the coupling solve:
+  /// cv·ρ·dT/dt = Σ_s c·κ_a,s (E_s − B_s(T)).  Priced as Physics work.
+  void update_temperature(linalg::ExecContext& ctx,
+                          const linalg::DistVector& e_new, double dt);
+
+private:
+  const grid::Grid2D* grid_;
+  const grid::Decomposition* dec_;
+  int ns_;
+  OpacitySet opacities_;
+  FldConfig config_;
+  grid::DistField rho_;
+  grid::DistField temp_;
+};
+
+}  // namespace v2d::rad

@@ -1,0 +1,62 @@
+#include "rad/gaussian.hpp"
+
+namespace v2d::rad {
+
+void GaussianPulse::fill(linalg::DistVector& e, double t) const {
+  const grid::Grid2D& g = e.field().grid();
+  const auto& dec = e.field().decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& ext = dec.extent(r);
+    for (int s = 0; s < e.ns(); ++s) {
+      grid::TileView v = e.field().view(r, s);
+      for (int lj = 0; lj < ext.nj; ++lj) {
+        for (int li = 0; li < ext.ni; ++li) {
+          v(li, lj) = evaluate(g.x1c(ext.i0 + li), g.x2c(ext.j0 + lj), t);
+        }
+      }
+    }
+  }
+}
+
+double GaussianPulse::rel_l2_error(const linalg::DistVector& e,
+                                   double t) const {
+  const grid::Grid2D& g = e.field().grid();
+  const auto& dec = e.field().decomp();
+  double num = 0.0, den = 0.0;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& ext = dec.extent(r);
+    for (int s = 0; s < e.ns(); ++s) {
+      const grid::TileView v = e.field().view(r, s);
+      for (int lj = 0; lj < ext.nj; ++lj) {
+        for (int li = 0; li < ext.ni; ++li) {
+          const double exact =
+              evaluate(g.x1c(ext.i0 + li), g.x2c(ext.j0 + lj), t);
+          const double diff = v(li, lj) - exact;
+          num += diff * diff;
+          den += exact * exact;
+        }
+      }
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double GaussianPulse::total_energy(const linalg::DistVector& e) {
+  const grid::Grid2D& g = e.field().grid();
+  const auto& dec = e.field().decomp();
+  double total = 0.0;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& ext = dec.extent(r);
+    for (int s = 0; s < e.ns(); ++s) {
+      const grid::TileView v = e.field().view(r, s);
+      for (int lj = 0; lj < ext.nj; ++lj) {
+        for (int li = 0; li < ext.ni; ++li) {
+          total += v(li, lj) * g.volume(ext.i0 + li, ext.j0 + lj);
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace v2d::rad

@@ -1,0 +1,25 @@
+#include "rad/limiter.hpp"
+
+namespace v2d::rad {
+
+const char* limiter_name(LimiterKind k) {
+  switch (k) {
+    case LimiterKind::None: return "none";
+    case LimiterKind::LevermorePomraning: return "levermore-pomraning";
+    case LimiterKind::Larsen2: return "larsen2";
+    case LimiterKind::Wilson: return "wilson";
+  }
+  return "?";
+}
+
+LimiterKind limiter_from_name(const std::string& name) {
+  if (name == "none") return LimiterKind::None;
+  if (name == "levermore-pomraning" || name == "lp")
+    return LimiterKind::LevermorePomraning;
+  if (name == "larsen2") return LimiterKind::Larsen2;
+  if (name == "wilson") return LimiterKind::Wilson;
+  throw Error("unknown flux limiter '" + name +
+              "' (expected none|lp|larsen2|wilson)");
+}
+
+}  // namespace v2d::rad

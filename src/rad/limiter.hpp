@@ -1,0 +1,47 @@
+#pragma once
+/// \file limiter.hpp
+/// \brief Flux limiters for flux-limited diffusion.
+///
+/// The FLD closure writes the radiative flux as F = −(c·λ(R)/κ)∇E where
+/// R = |∇E|/(κE) measures how free-streaming the radiation field is.  The
+/// limiter λ interpolates between the diffusion limit (λ → 1/3 as R → 0)
+/// and the free-streaming limit (λ → 1/R as R → ∞, so |F| → cE).
+/// V2D's lineage (Swesty & Myra 2009) uses the Levermore–Pomraning
+/// limiter; alternatives are provided for the ablation benches.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace v2d::rad {
+
+enum class LimiterKind : std::uint8_t {
+  None = 0,            ///< λ = 1/3 (pure Fick diffusion, no limiting)
+  LevermorePomraning,  ///< λ = (2 + R)/(6 + 3R + R²)
+  Larsen2,             ///< λ = (9 + R²)^{−1/2}
+  Wilson,              ///< λ = 1/(3 + R)
+};
+
+const char* limiter_name(LimiterKind k);
+LimiterKind limiter_from_name(const std::string& name);
+
+/// Evaluate λ(R).  R must be non-negative.
+inline double flux_limiter(LimiterKind kind, double R) {
+  V2D_CHECK(R >= 0.0, "limiter argument must be non-negative");
+  switch (kind) {
+    case LimiterKind::None:
+      return 1.0 / 3.0;
+    case LimiterKind::LevermorePomraning:
+      // Rational form of (coth R − 1/R)/R, exact limits at both ends.
+      return (2.0 + R) / (6.0 + 3.0 * R + R * R);
+    case LimiterKind::Larsen2:
+      return 1.0 / std::sqrt(9.0 + R * R);
+    case LimiterKind::Wilson:
+      return 1.0 / (3.0 + R);
+  }
+  V2D_FAIL("bad limiter kind");
+}
+
+}  // namespace v2d::rad

@@ -1,0 +1,65 @@
+#pragma once
+/// \file opacity.hpp
+/// \brief Opacity models for the multigroup radiation species.
+///
+/// Each radiation species (energy group) has absorption and scattering
+/// opacities in inverse-length units.  The models are deliberately simple
+/// analytic forms (constant and temperature power-law) — the SVE study's
+/// test problem uses constant opacities, and the power law exists so the
+/// coefficient-assembly code path has real temperature dependence to chew
+/// on in the physics-heavy benches.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace v2d::rad {
+
+/// Per-species opacity description: κ(T, ρ) = κ₀ · (T/T₀)^a · (ρ/ρ₀)^b.
+struct OpacityLaw {
+  double kappa0 = 1.0;   ///< base opacity [1/length]
+  double t_ref = 1.0;    ///< reference temperature
+  double t_exp = 0.0;    ///< temperature exponent a (e.g. −3.5 Kramers-like)
+  double rho_ref = 1.0;  ///< reference density
+  double rho_exp = 0.0;  ///< density exponent b
+
+  double evaluate(double temperature, double density) const {
+    V2D_CHECK(temperature > 0.0 && density > 0.0,
+              "opacity needs positive state");
+    double k = kappa0;
+    if (t_exp != 0.0) k *= std::pow(temperature / t_ref, t_exp);
+    if (rho_exp != 0.0) k *= std::pow(density / rho_ref, rho_exp);
+    return k;
+  }
+
+  static OpacityLaw constant(double kappa) { return OpacityLaw{kappa}; }
+};
+
+/// The opacity table of one run: absorption + scattering per species.
+class OpacitySet {
+public:
+  explicit OpacitySet(int ns) : absorption_(ns), scattering_(ns) {
+    V2D_REQUIRE(ns >= 1, "need at least one species");
+  }
+
+  int ns() const { return static_cast<int>(absorption_.size()); }
+
+  OpacityLaw& absorption(int s) { return absorption_.at(s); }
+  OpacityLaw& scattering(int s) { return scattering_.at(s); }
+  const OpacityLaw& absorption(int s) const { return absorption_.at(s); }
+  const OpacityLaw& scattering(int s) const { return scattering_.at(s); }
+
+  /// Total (transport) opacity κ_t = κ_a + κ_s.
+  double total(int s, double temperature, double density) const {
+    return absorption_.at(s).evaluate(temperature, density) +
+           scattering_.at(s).evaluate(temperature, density);
+  }
+
+private:
+  std::vector<OpacityLaw> absorption_;
+  std::vector<OpacityLaw> scattering_;
+};
+
+}  // namespace v2d::rad

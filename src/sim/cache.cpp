@@ -1,0 +1,113 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace v2d::sim {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
+
+SetAssocCache::SetAssocCache(std::uint64_t capacity_bytes,
+                             std::uint32_t line_bytes,
+                             std::uint32_t associativity)
+    : line_bytes_(line_bytes), assoc_(associativity) {
+  V2D_REQUIRE(is_pow2(line_bytes), "cache line size must be a power of two");
+  V2D_REQUIRE(associativity >= 1, "associativity must be >= 1");
+  const std::uint64_t lines = capacity_bytes / line_bytes;
+  V2D_REQUIRE(lines % associativity == 0,
+              "capacity must be divisible by line size * associativity");
+  num_sets_ = static_cast<std::uint32_t>(lines / associativity);
+  V2D_REQUIRE(is_pow2(num_sets_), "number of sets must be a power of two");
+  lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+}
+
+bool SetAssocCache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line_addr = addr / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (num_sets_ - 1));
+  const std::uint64_t tag = line_addr >> __builtin_ctz(num_sets_);
+  Line* base = &lines_[static_cast<std::size_t>(set) * assoc_];
+  ++tick_;
+
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Line& ln = base[w];
+    if (ln.valid && ln.tag == tag) {
+      ln.lru = tick_;
+      ln.dirty = ln.dirty || is_write;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: pick invalid way or LRU victim.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    Line& ln = base[w];
+    if (!ln.valid) {
+      victim = &ln;
+      break;
+    }
+    if (ln.lru < victim->lru) victim = &ln;
+  }
+  if (victim->valid && victim->dirty) ++writebacks_;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+std::uint64_t SetAssocCache::access_range(std::uint64_t addr, std::uint64_t len,
+                                          bool is_write) {
+  std::uint64_t hit_count = 0;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + (len ? len - 1 : 0)) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (access(line * line_bytes_, is_write)) ++hit_count;
+  }
+  return hit_count;
+}
+
+void SetAssocCache::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  tick_ = hits_ = misses_ = writebacks_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const MachineSpec& spec)
+    : l1_(spec.l1.capacity_bytes, spec.l1.line_bytes, spec.l1.associativity),
+      l2_(spec.l2.capacity_bytes, spec.l2.line_bytes, spec.l2.associativity) {}
+
+void CacheHierarchy::access_range(std::uint64_t addr, std::uint64_t len,
+                                  bool is_write) {
+  const std::uint32_t line = l1_.line_bytes();
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + (len ? len - 1 : 0)) / line;
+  for (std::uint64_t ln = first; ln <= last; ++ln) {
+    const std::uint64_t a = ln * line;
+    if (!l1_.access(a, is_write)) {
+      if (!l2_.access(a, is_write)) {
+        memory_bytes_ += line;
+      }
+    }
+  }
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  memory_bytes_ = 0;
+}
+
+MemLevel classify_working_set(std::uint64_t bytes, const MachineSpec& spec,
+                              std::uint32_t ranks_on_cmg) {
+  V2D_REQUIRE(ranks_on_cmg >= 1, "ranks_on_cmg must be >= 1");
+  if (bytes <= spec.l1.capacity_bytes) return MemLevel::L1;
+  const std::uint64_t l2_share =
+      spec.l2.capacity_bytes / std::max<std::uint32_t>(1, ranks_on_cmg);
+  if (bytes <= l2_share) return MemLevel::L2;
+  return MemLevel::HBM;
+}
+
+}  // namespace v2d::sim

@@ -1,0 +1,95 @@
+#pragma once
+/// \file cache.hpp
+/// \brief Trace-driven set-associative cache model and working-set classifier.
+///
+/// Two levels of fidelity coexist:
+///  * SetAssocCache / CacheHierarchy — a faithful LRU cache simulator used
+///    by tests and by the detailed-analysis examples to validate the cheap
+///    classifier below against actual access streams.
+///  * classify_working_set — the O(1) classifier the cost model uses on
+///    every kernel call: given the bytes a kernel touches per invocation
+///    and the sharing situation, decide which memory level feeds it.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace v2d::sim {
+
+/// One set-associative, write-allocate, write-back cache with LRU
+/// replacement.  Addresses are byte addresses.
+class SetAssocCache {
+public:
+  SetAssocCache(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+                std::uint32_t associativity);
+
+  /// Access one byte address; returns true on hit.  `is_write` marks the
+  /// line dirty.  On miss the victim line (if dirty) increments
+  /// writebacks().
+  bool access(std::uint64_t addr, bool is_write);
+
+  /// Touch a [addr, addr+len) range, line by line; returns number of hits.
+  std::uint64_t access_range(std::uint64_t addr, std::uint64_t len,
+                             bool is_write);
+
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double hit_rate() const {
+    return accesses() ? static_cast<double>(hits_) / accesses() : 0.0;
+  }
+
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t sets() const { return num_sets_; }
+  std::uint32_t ways() const { return assoc_; }
+
+private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t line_bytes_;
+  std::uint32_t assoc_;
+  std::uint32_t num_sets_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * assoc_, row-major by set
+};
+
+/// L1 → L2 → memory hierarchy; accesses filter downward on miss.
+class CacheHierarchy {
+public:
+  explicit CacheHierarchy(const MachineSpec& spec);
+
+  /// Access a byte range through the hierarchy.
+  void access_range(std::uint64_t addr, std::uint64_t len, bool is_write);
+
+  const SetAssocCache& l1() const { return l1_; }
+  const SetAssocCache& l2() const { return l2_; }
+  /// Bytes that went all the way to memory (miss traffic + writebacks).
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+
+  void reset();
+
+private:
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  std::uint64_t memory_bytes_ = 0;
+};
+
+/// Cheap classifier used by the cost model: which level serves a kernel
+/// whose per-call working set is `bytes`, when `ranks_on_cmg` simulated
+/// ranks share a CMG?  The L2 share seen by one rank shrinks accordingly.
+MemLevel classify_working_set(std::uint64_t bytes, const MachineSpec& spec,
+                              std::uint32_t ranks_on_cmg);
+
+}  // namespace v2d::sim

@@ -1,0 +1,97 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace v2d::sim {
+
+namespace {
+
+/// Issue-port groups: a superscalar core overlaps work across its memory
+/// pipes, FP pipes and control/ALU pipes, so the compute-side cost is the
+/// busiest port group, not the sum of all instruction latencies.
+enum class Port : std::uint8_t { Mem = 0, Fp, Ctl, kCount };
+
+Port port_of(OpClass c) {
+  switch (c) {
+    case OpClass::LoadContig:
+    case OpClass::StoreContig:
+    case OpClass::LoadGather:
+    case OpClass::StoreScatter:
+      return Port::Mem;
+    case OpClass::FlopAdd:
+    case OpClass::FlopMul:
+    case OpClass::FlopFma:
+    case OpClass::FlopDiv:
+    case OpClass::FlopSqrt:
+    case OpClass::FlopCmp:
+    case OpClass::Reduce:
+    case OpClass::Select:
+      return Port::Fp;
+    case OpClass::Predicate:
+    case OpClass::IntOp:
+    case OpClass::Branch:
+      return Port::Ctl;
+    case OpClass::kCount:
+      break;
+  }
+  return Port::Ctl;
+}
+
+}  // namespace
+
+double CostModel::compute_cycles(const KernelCounts& counts, ExecMode mode,
+                                 const CodegenFactors& factors) const {
+  // Per-port busy cycles for the vector (SVE) and scalar pricings.
+  double vec_port[3] = {0.0, 0.0, 0.0};
+  double scl_port[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    const auto p = static_cast<std::size_t>(port_of(c));
+    vec_port[p] += static_cast<double>(counts.instr[i]) *
+                   spec_.cpi(c, ExecMode::SVE) * factors.scale(c);
+    // lanes[] always holds the scalar-equivalent op count: for FP/memory
+    // classes that is the number of active lanes; for loop-control classes
+    // (predicate/branch/int) the recorder also logs active lanes, because a
+    // scalar loop executes one back-edge per element.
+    scl_port[p] += static_cast<double>(counts.lanes[i]) *
+                   spec_.cpi(c, ExecMode::Scalar) * factors.scalar_cpi_scale;
+  }
+  const double vec = std::max({vec_port[0], vec_port[1], vec_port[2]});
+  const double scalar = std::max({scl_port[0], scl_port[1], scl_port[2]});
+  if (mode == ExecMode::Scalar) return scalar;
+  const double f = std::clamp(factors.vectorized_fraction, 0.0, 1.0);
+  return f * vec + (1.0 - f) * scalar;
+}
+
+CostBreakdown CostModel::price(const KernelCounts& counts, ExecMode mode,
+                               const CodegenFactors& factors,
+                               std::uint64_t working_set_bytes,
+                               std::uint32_t ranks_on_cmg) const {
+  V2D_REQUIRE(factors.bandwidth_efficiency > 0.0,
+              "bandwidth efficiency must be positive");
+  CostBreakdown out;
+  out.level = working_set_bytes == 0
+                  ? MemLevel::L1
+                  : classify_working_set(working_set_bytes, spec_, ranks_on_cmg);
+  out.compute_cycles = compute_cycles(counts, mode, factors);
+
+  const double bpc = spec_.bytes_per_cycle(out.level, ranks_on_cmg) *
+                     factors.bandwidth_efficiency;
+  out.memory_cycles = static_cast<double>(counts.bytes_moved()) / bpc;
+
+  // Per-call fixed costs: loop prologue/epilogue plus one load-to-use
+  // latency at the serving level (captures the small-N latency floor that
+  // the paper's N=1000 kernel driver sits near).
+  double latency = spec_.l1.latency_cycles;
+  if (out.level == MemLevel::L2) latency = spec_.l2.latency_cycles;
+  if (out.level == MemLevel::HBM) latency = spec_.hbm_latency_cycles;
+  out.overhead_cycles =
+      static_cast<double>(counts.calls ? counts.calls : 1) *
+          factors.loop_overhead_cycles +
+      latency;
+  return out;
+}
+
+}  // namespace v2d::sim

@@ -1,0 +1,72 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief Roofline-style cycle pricing of recorded kernel instruction streams.
+///
+/// A kernel is executed once through the VLA layer, which records a
+/// KernelCounts.  The cost model then *prices* that recording under any
+/// (ExecMode, CodegenFactors, sharing) combination — pricing is separate
+/// from execution, so "compile with GNU, no SVE" is a pricing decision,
+/// not a re-run.  Cycles are
+///
+///   total = overhead + max(compute_cycles, memory_cycles)
+///
+/// compute side:  Σ_c instr[c]·cpi_vec(c)·scale(c)      (SVE)
+///                Σ_c lanes[c]·cpi_scalar(c)·scale(c)   (Scalar; each active
+///                                                      lane = 1 scalar op)
+/// partial vectorization blends the two by CodegenFactors::vectorized_fraction.
+/// memory side:   bytes_moved / (bytes_per_cycle(level, sharers)·bw_eff)
+/// where `level` comes from the working-set classifier.
+
+#include <cstdint>
+
+#include "sim/cache.hpp"
+#include "sim/isa.hpp"
+#include "sim/machine.hpp"
+
+namespace v2d::sim {
+
+/// Result of pricing one kernel invocation (or an accumulated stream).
+struct CostBreakdown {
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  double overhead_cycles = 0.0;
+  MemLevel level = MemLevel::L1;
+
+  double total_cycles() const {
+    const double body = compute_cycles > memory_cycles ? compute_cycles
+                                                       : memory_cycles;
+    return overhead_cycles + body;
+  }
+  bool memory_bound() const { return memory_cycles > compute_cycles; }
+};
+
+class CostModel {
+public:
+  explicit CostModel(MachineSpec spec) : spec_(std::move(spec)) {}
+
+  const MachineSpec& machine() const { return spec_; }
+
+  /// Price a recorded stream.
+  /// \param counts            recorded instruction stream (vector granularity)
+  /// \param mode              Scalar or SVE pricing
+  /// \param factors           compiler codegen quality
+  /// \param working_set_bytes bytes the kernel touches per call (for level
+  ///                          classification); pass 0 to force L1
+  /// \param ranks_on_cmg      simulated ranks sharing this rank's CMG
+  CostBreakdown price(const KernelCounts& counts, ExecMode mode,
+                      const CodegenFactors& factors,
+                      std::uint64_t working_set_bytes,
+                      std::uint32_t ranks_on_cmg = 1) const;
+
+  /// Pure compute-side pricing (used by tests and by price()).
+  double compute_cycles(const KernelCounts& counts, ExecMode mode,
+                        const CodegenFactors& factors) const;
+
+  /// Seconds for a cycle count on this machine.
+  double seconds(double cycles) const { return cycles / spec_.freq_hz; }
+
+private:
+  MachineSpec spec_;
+};
+
+}  // namespace v2d::sim

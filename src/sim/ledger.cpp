@@ -1,0 +1,94 @@
+#include "sim/ledger.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace v2d::sim {
+
+RegionCost& RegionCost::operator+=(const RegionCost& o) {
+  counts += o.counts;
+  compute_cycles += o.compute_cycles;
+  memory_cycles += o.memory_cycles;
+  overhead_cycles += o.overhead_cycles;
+  total_cycles += o.total_cycles;
+  comm_seconds += o.comm_seconds;
+  comm_messages += o.comm_messages;
+  comm_bytes += o.comm_bytes;
+  return *this;
+}
+
+void CostLedger::add_kernel(const std::string& region,
+                            const KernelCounts& counts,
+                            const CostBreakdown& cost) {
+  RegionCost& r = regions_[region];
+  r.counts += counts;
+  r.compute_cycles += cost.compute_cycles;
+  r.memory_cycles += cost.memory_cycles;
+  r.overhead_cycles += cost.overhead_cycles;
+  r.total_cycles += cost.total_cycles();
+}
+
+void CostLedger::add_comm(const std::string& region, double seconds,
+                          std::uint64_t messages, std::uint64_t bytes) {
+  V2D_REQUIRE(seconds >= 0.0, "communication time cannot be negative");
+  RegionCost& r = regions_[region];
+  r.comm_seconds += seconds;
+  r.comm_messages += messages;
+  r.comm_bytes += bytes;
+}
+
+void CostLedger::merge(const CostLedger& o) {
+  for (const auto& [name, cost] : o.regions_) regions_[name] += cost;
+}
+
+void CostLedger::clear() { regions_.clear(); }
+
+bool CostLedger::has(const std::string& region) const {
+  return regions_.count(region) != 0;
+}
+
+const RegionCost& CostLedger::at(const std::string& region) const {
+  auto it = regions_.find(region);
+  V2D_REQUIRE(it != regions_.end(), "no such ledger region: " + region);
+  return it->second;
+}
+
+double CostLedger::total_cycles() const {
+  double t = 0.0;
+  for (const auto& [_, r] : regions_) t += r.total_cycles;
+  return t;
+}
+
+double CostLedger::total_comm_seconds() const {
+  double t = 0.0;
+  for (const auto& [_, r] : regions_) t += r.comm_seconds;
+  return t;
+}
+
+std::uint64_t CostLedger::total_flops() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, r] : regions_) t += r.counts.flops();
+  return t;
+}
+
+std::uint64_t CostLedger::total_bytes() const {
+  std::uint64_t t = 0;
+  for (const auto& [_, r] : regions_) t += r.counts.bytes_moved();
+  return t;
+}
+
+std::vector<std::string> CostLedger::by_cost() const {
+  std::vector<std::string> names;
+  names.reserve(regions_.size());
+  for (const auto& [name, _] : regions_) names.push_back(name);
+  std::sort(names.begin(), names.end(), [&](const auto& a, const auto& b) {
+    const double ca = regions_.at(a).total_cycles + 1e9 * regions_.at(a).comm_seconds;
+    const double cb = regions_.at(b).total_cycles + 1e9 * regions_.at(b).comm_seconds;
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return names;
+}
+
+}  // namespace v2d::sim

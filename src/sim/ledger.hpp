@@ -1,0 +1,71 @@
+#pragma once
+/// \file ledger.hpp
+/// \brief Per-region cost accounting for a simulated rank.
+///
+/// Every priced kernel call and every communication event lands in a
+/// ledger under a region name ("matvec", "dprod", "halo", ...).  The
+/// perfmon layer reads ledgers to produce PAPI/TAU/perf-stat style
+/// reports; the MPI simulator keeps one ledger per rank.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/isa.hpp"
+
+namespace v2d::sim {
+
+/// Accumulated cost of one named region.
+struct RegionCost {
+  KernelCounts counts;
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  double overhead_cycles = 0.0;
+  double total_cycles = 0.0;
+  double comm_seconds = 0.0;
+  std::uint64_t comm_messages = 0;
+  std::uint64_t comm_bytes = 0;
+
+  RegionCost& operator+=(const RegionCost& o);
+};
+
+class CostLedger {
+public:
+  /// Record a priced kernel call.
+  void add_kernel(const std::string& region, const KernelCounts& counts,
+                  const CostBreakdown& cost);
+
+  /// Record communication time (already in seconds — the network model
+  /// prices messages directly).
+  void add_comm(const std::string& region, double seconds,
+                std::uint64_t messages, std::uint64_t bytes);
+
+  /// Merge another ledger into this one (region-wise).
+  void merge(const CostLedger& o);
+
+  void clear();
+
+  bool has(const std::string& region) const;
+  const RegionCost& at(const std::string& region) const;
+  const std::map<std::string, RegionCost>& regions() const { return regions_; }
+
+  double total_cycles() const;
+  double total_comm_seconds() const;
+  std::uint64_t total_flops() const;
+  std::uint64_t total_bytes() const;
+
+  /// Simulated wall time at frequency `freq_hz`: compute + communication.
+  double total_seconds(double freq_hz) const {
+    return total_cycles() / freq_hz + total_comm_seconds();
+  }
+
+  /// Region names sorted by descending total cycles (for reports).
+  std::vector<std::string> by_cost() const;
+
+private:
+  std::map<std::string, RegionCost> regions_;
+};
+
+}  // namespace v2d::sim

@@ -1,0 +1,168 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace v2d::sim {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::FlopAdd: return "fadd";
+    case OpClass::FlopMul: return "fmul";
+    case OpClass::FlopFma: return "fma";
+    case OpClass::FlopDiv: return "fdiv";
+    case OpClass::FlopSqrt: return "fsqrt";
+    case OpClass::FlopCmp: return "fcmp";
+    case OpClass::LoadContig: return "ld1";
+    case OpClass::StoreContig: return "st1";
+    case OpClass::LoadGather: return "ld1-gather";
+    case OpClass::StoreScatter: return "st1-scatter";
+    case OpClass::Reduce: return "reduce";
+    case OpClass::Select: return "sel";
+    case OpClass::Predicate: return "pred";
+    case OpClass::IntOp: return "int";
+    case OpClass::Branch: return "branch";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+const char* exec_mode_name(ExecMode m) {
+  return m == ExecMode::SVE ? "SVE" : "Scalar";
+}
+
+const char* mem_level_name(MemLevel l) {
+  switch (l) {
+    case MemLevel::L1: return "L1";
+    case MemLevel::L2: return "L2";
+    case MemLevel::HBM: return "HBM";
+    case MemLevel::kCount: break;
+  }
+  return "?";
+}
+
+double MachineSpec::bytes_per_cycle(MemLevel level, std::uint32_t sharers) const {
+  V2D_REQUIRE(sharers >= 1, "at least one core must be streaming");
+  switch (level) {
+    case MemLevel::L1:
+      // Private: no sharing penalty.
+      return l1.bytes_per_cycle_per_core;
+    case MemLevel::L2: {
+      // L2 is banked per CMG; a single core cannot saturate it, but the
+      // aggregate is capped.  Model: per-core rate limited by the CMG
+      // aggregate divided among streaming sharers.
+      const double aggregate = l2.bytes_per_cycle_per_core * 4.0;  // bank cap
+      return std::min(l2.bytes_per_cycle_per_core,
+                      aggregate / static_cast<double>(sharers));
+    }
+    case MemLevel::HBM: {
+      const double aggregate_bpc = hbm_bw_per_cmg / freq_hz;
+      // One A64FX core can draw at most ~1/5 of the CMG's HBM bandwidth
+      // (below the per-core L2 bandwidth — a single core streams faster
+      // from L2 than from memory).
+      const double single_core_cap = aggregate_bpc / 5.0;
+      return std::min(single_core_cap,
+                      aggregate_bpc / static_cast<double>(sharers));
+    }
+    case MemLevel::kCount: break;
+  }
+  V2D_FAIL("unknown memory level");
+}
+
+MachineSpec MachineSpec::a64fx() {
+  MachineSpec m;
+  m.name = "A64FX (Ookami FX700)";
+  m.freq_hz = 1.8e9;
+  m.sve_bits = 512;
+  m.fp_pipes_vector = 2;
+  m.fp_pipes_scalar = 2;
+  m.cores_per_cmg = 12;
+  m.cmgs_per_node = 4;
+
+  m.l1 = CacheLevelSpec{
+      .capacity_bytes = 64 * 1024,
+      .line_bytes = 256,
+      .associativity = 4,
+      // 2×64-byte load ports at full SVE width minus store port sharing.
+      .bytes_per_cycle_per_core = 96.0,
+      .latency_cycles = 5.0,
+  };
+  m.l2 = CacheLevelSpec{
+      .capacity_bytes = 8ull * 1024 * 1024,
+      .line_bytes = 256,
+      .associativity = 16,
+      .bytes_per_cycle_per_core = 32.0,
+      .latency_cycles = 40.0,
+  };
+  m.hbm_bw_per_cmg = 256e9;
+  m.hbm_latency_cycles = 260.0;
+
+  // Scalar CPIs: A64FX's out-of-order scalar core is modest (2-wide FP).
+  auto& s = m.cpi_scalar;
+  s.fill(1.0);
+  auto set = [](auto& arr, OpClass c, double v) {
+    arr[static_cast<std::size_t>(c)] = v;
+  };
+  set(s, OpClass::FlopAdd, 0.5);
+  set(s, OpClass::FlopMul, 0.5);
+  set(s, OpClass::FlopFma, 0.5);
+  set(s, OpClass::FlopDiv, 12.0);
+  set(s, OpClass::FlopSqrt, 14.0);
+  set(s, OpClass::FlopCmp, 0.5);
+  set(s, OpClass::LoadContig, 0.5);
+  set(s, OpClass::StoreContig, 1.0);
+  set(s, OpClass::LoadGather, 1.0);
+  set(s, OpClass::StoreScatter, 1.5);
+  set(s, OpClass::Reduce, 1.0);
+  set(s, OpClass::Select, 0.5);
+  set(s, OpClass::Predicate, 0.5);
+  set(s, OpClass::IntOp, 0.25);
+  set(s, OpClass::Branch, 1.0);
+
+  // Vector CPIs: two 512-bit FLA pipes → 0.5 CPI for pipelined FP vector
+  // ops; gathers crack into per-element micro-ops (8 lanes ≈ 4 cycles);
+  // horizontal reductions serialize across lanes.
+  auto& v = m.cpi_vector;
+  v.fill(1.0);
+  set(v, OpClass::FlopAdd, 0.5);
+  set(v, OpClass::FlopMul, 0.5);
+  set(v, OpClass::FlopFma, 0.5);
+  set(v, OpClass::FlopDiv, 32.0);
+  set(v, OpClass::FlopSqrt, 36.0);
+  set(v, OpClass::FlopCmp, 0.5);
+  set(v, OpClass::LoadContig, 0.5);
+  set(v, OpClass::StoreContig, 1.0);
+  set(v, OpClass::LoadGather, 4.0);
+  set(v, OpClass::StoreScatter, 6.0);
+  set(v, OpClass::Reduce, 6.0);
+  set(v, OpClass::Select, 0.5);
+  set(v, OpClass::Predicate, 0.5);
+  set(v, OpClass::IntOp, 0.5);
+  set(v, OpClass::Branch, 1.0);
+  return m;
+}
+
+MachineSpec MachineSpec::generic_x86() {
+  MachineSpec m = a64fx();
+  m.name = "generic x86-64 (reference)";
+  m.freq_hz = 3.0e9;
+  m.sve_bits = 256;  // AVX2-class
+  m.cores_per_cmg = 8;
+  m.cmgs_per_node = 1;
+  m.l1.capacity_bytes = 32 * 1024;
+  m.l1.line_bytes = 64;
+  m.l1.associativity = 8;
+  m.l1.bytes_per_cycle_per_core = 64.0;
+  m.l1.latency_cycles = 4.0;
+  m.l2.capacity_bytes = 1ull * 1024 * 1024;
+  m.l2.line_bytes = 64;
+  m.l2.associativity = 16;
+  m.l2.bytes_per_cycle_per_core = 24.0;
+  m.l2.latency_cycles = 14.0;
+  m.hbm_bw_per_cmg = 40e9;  // DDR4 dual channel
+  m.hbm_latency_cycles = 300.0;
+  return m;
+}
+
+}  // namespace v2d::sim

@@ -1,0 +1,82 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Hardware description of the simulated platform.
+///
+/// The default is the Fujitsu A64FX as deployed in Ookami's HPE Apollo 80:
+/// 4 core-memory-groups (CMGs) of 12 cores at 1.8 GHz, 64 KiB L1 per core,
+/// 8 MiB L2 per CMG, HBM2 at ~256 GB/s per CMG, 512-bit SVE.  All numbers
+/// come from public A64FX documentation; they are machine capability, not
+/// calibration — compiler quality lives in CodegenFactors.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/isa.hpp"
+
+namespace v2d::sim {
+
+/// Cache / memory level reached by a kernel's working set.
+enum class MemLevel : std::uint8_t { L1 = 0, L2, HBM, kCount };
+
+const char* mem_level_name(MemLevel l);
+
+struct CacheLevelSpec {
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t line_bytes = 256;
+  std::uint32_t associativity = 4;
+  /// Achievable bandwidth per core in bytes/cycle when this level serves
+  /// the stream (load+store combined, stream-triad style).
+  double bytes_per_cycle_per_core = 0.0;
+  /// Load-to-use latency in cycles (used by the latency-bound correction).
+  double latency_cycles = 0.0;
+};
+
+struct MachineSpec {
+  std::string name;
+  double freq_hz = 1.8e9;
+
+  // --- SIMD ---
+  std::uint32_t sve_bits = 512;       ///< hardware vector width
+  std::uint32_t fp_pipes_vector = 2;  ///< FLA pipes usable by SVE
+  std::uint32_t fp_pipes_scalar = 2;  ///< scalar FP issue per cycle
+
+  // --- topology ---
+  std::uint32_t cores_per_cmg = 12;
+  std::uint32_t cmgs_per_node = 4;
+
+  // --- memory hierarchy ---
+  CacheLevelSpec l1;   ///< per core
+  CacheLevelSpec l2;   ///< per CMG (shared by its cores)
+  /// HBM bandwidth per CMG in bytes/second (shared by its cores).
+  double hbm_bw_per_cmg = 256e9;
+  double hbm_latency_cycles = 260.0;
+
+  /// Base cycles-per-instruction for each op class, by execution mode.
+  /// Vector CPIs are per *instruction* (so an 8-lane FMA still costs
+  /// cpi_vector[FlopFma] cycles when pipelined).
+  std::array<double, kNumOpClasses> cpi_scalar{};
+  std::array<double, kNumOpClasses> cpi_vector{};
+
+  std::uint32_t cores_per_node() const { return cores_per_cmg * cmgs_per_node; }
+  std::uint32_t lanes_f64() const { return sve_bits / 64; }
+
+  double cpi(OpClass c, ExecMode m) const {
+    const auto i = static_cast<std::size_t>(c);
+    return m == ExecMode::SVE ? cpi_vector[i] : cpi_scalar[i];
+  }
+
+  /// Bytes/cycle one core can move when its working set resides at `level`
+  /// and `sharers` cores of the same CMG are streaming simultaneously.
+  double bytes_per_cycle(MemLevel level, std::uint32_t sharers) const;
+
+  /// The Ookami node: Fujitsu A64FX FX700 at 1.8 GHz.
+  static MachineSpec a64fx();
+
+  /// A generic x86 reference machine (used by tests to check that the
+  /// model responds to machine parameters, and by the native microbench
+  /// docs for context).
+  static MachineSpec generic_x86();
+};
+
+}  // namespace v2d::sim

@@ -1,0 +1,42 @@
+#pragma once
+/// \file dd.hpp
+/// \brief Double-double (compensated) accumulation.
+///
+/// BiCGSTAB trajectories are exquisitely sensitive to inner-product
+/// rounding, and plain summation groups terms differently under every
+/// NPRX1×NPRX2 tiling — which would make iteration counts (and therefore
+/// Table I timings) depend on the decomposition through noise rather than
+/// through communication.  V2D sidesteps this by accumulating global
+/// reductions in double-double arithmetic: summing the same addends in
+/// any order agrees to ~2⁻¹⁰⁶, so the rounded double result — and hence
+/// the entire Krylov trajectory — is tiling-independent.
+
+#include <cmath>
+
+namespace v2d {
+
+/// Error-free transformation accumulator (Knuth two-sum).
+class DdAccumulator {
+public:
+  void add(double x) {
+    const double t = hi_ + x;
+    const double e = std::fabs(hi_) >= std::fabs(x) ? (hi_ - t) + x
+                                                    : (x - t) + hi_;
+    lo_ += e;
+    hi_ = t;
+  }
+
+  /// Merge another accumulator (used for rank partials).
+  void add(const DdAccumulator& o) {
+    add(o.hi_);
+    add(o.lo_);
+  }
+
+  double value() const { return hi_ + lo_; }
+
+private:
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+};
+
+}  // namespace v2d

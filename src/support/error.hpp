@@ -1,0 +1,54 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives shared by every v2dsve module.
+///
+/// All recoverable failures are reported via v2d::Error (derived from
+/// std::runtime_error) so callers can catch a single type.  Internal
+/// invariant violations use V2D_CHECK / V2D_REQUIRE which throw with
+/// file/line context; they stay enabled in release builds because this
+/// library's correctness is the product.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace v2d {
+
+/// Exception type thrown by all v2dsve libraries.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace v2d
+
+/// Precondition check on public API arguments.
+#define V2D_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::v2d::detail::fail("requirement", #expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+/// Internal invariant check.
+#define V2D_CHECK(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::v2d::detail::fail("invariant", #expr, __FILE__, __LINE__, msg);    \
+  } while (0)
+
+/// Unconditional failure with message.
+#define V2D_FAIL(msg) \
+  ::v2d::detail::fail("assertion", "false", __FILE__, __LINE__, msg)

@@ -1,0 +1,32 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace v2d::log {
+
+namespace {
+Level g_level = Level::Warn;
+std::ostream* g_stream = nullptr;
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+void set_stream(std::ostream* os) { g_stream = os; }
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::ErrorLevel: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void write(Level lvl, const std::string& msg) {
+  std::ostream& os = g_stream ? *g_stream : std::cerr;
+  os << '[' << level_name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace v2d::log

@@ -1,0 +1,43 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger.
+///
+/// Single global sink (stderr by default); levels are filtered at runtime.
+/// Benches set the level from --verbose flags.  Not thread-safe by design:
+/// the simulator is single-threaded (ranks are simulated, not real).
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace v2d::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped.
+Level level();
+void set_level(Level lvl);
+
+/// Redirect output (tests use this to capture); nullptr restores stderr.
+void set_stream(std::ostream* os);
+
+/// Emit one record.  Prefer the V2D_LOG_* macros.
+void write(Level lvl, const std::string& msg);
+
+const char* level_name(Level lvl);
+
+}  // namespace v2d::log
+
+#define V2D_LOG_AT(lvl, expr)                                   \
+  do {                                                          \
+    if (static_cast<int>(lvl) >= static_cast<int>(::v2d::log::level())) { \
+      std::ostringstream v2d_log_os;                            \
+      v2d_log_os << expr;                                       \
+      ::v2d::log::write(lvl, v2d_log_os.str());                 \
+    }                                                           \
+  } while (0)
+
+#define V2D_LOG_DEBUG(expr) V2D_LOG_AT(::v2d::log::Level::Debug, expr)
+#define V2D_LOG_INFO(expr) V2D_LOG_AT(::v2d::log::Level::Info, expr)
+#define V2D_LOG_WARN(expr) V2D_LOG_AT(::v2d::log::Level::Warn, expr)
+#define V2D_LOG_ERROR(expr) V2D_LOG_AT(::v2d::log::Level::ErrorLevel, expr)

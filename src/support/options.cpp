@@ -1,0 +1,109 @@
+#include "support/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace v2d {
+
+Options& Options::add(const std::string& name, const std::string& default_value,
+                      const std::string& help) {
+  V2D_REQUIRE(!specs_.count(name), "duplicate option --" + name);
+  specs_[name] = Spec{default_value, help, /*is_flag=*/false, /*set=*/false};
+  order_.push_back(name);
+  return *this;
+}
+
+Options& Options::add_flag(const std::string& name, const std::string& help) {
+  V2D_REQUIRE(!specs_.count(name), "duplicate flag --" + name);
+  specs_[name] = Spec{"0", help, /*is_flag=*/true, /*set=*/false};
+  order_.push_back(name);
+  return *this;
+}
+
+Options::Spec& Options::require_spec(const std::string& name) {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) throw Error("unknown option --" + name);
+  return it->second;
+}
+
+const Options::Spec& Options::require_spec(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) throw Error("unknown option --" + name);
+  return it->second;
+}
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Spec& spec = require_spec(arg);
+    if (spec.is_flag) {
+      V2D_REQUIRE(!has_value || value == "0" || value == "1",
+                  "flag --" + arg + " takes no value");
+      spec.value = has_value ? value : "1";
+    } else if (has_value) {
+      spec.value = value;
+    } else {
+      if (i + 1 >= argc) throw Error("option --" + arg + " needs a value");
+      spec.value = argv[++i];
+    }
+    spec.set = true;
+  }
+}
+
+std::string Options::get(const std::string& name) const {
+  return require_spec(name).value;
+}
+
+long Options::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  long out = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    throw Error("option --" + name + " expects an integer, got '" + v + "'");
+  return out;
+}
+
+double Options::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  double out = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    throw Error("option --" + name + " expects a number, got '" + v + "'");
+  return out;
+}
+
+bool Options::get_bool(const std::string& name) const {
+  return get(name) == "1" || get(name) == "true";
+}
+
+bool Options::was_set(const std::string& name) const {
+  return require_spec(name).set;
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& name : order_) {
+    const Spec& s = specs_.at(name);
+    os << "  --" << name;
+    if (!s.is_flag) os << " <value>  (default: " << s.value << ")";
+    os << "\n      " << s.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace v2d

@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace v2d {
+
+void TableWriter::set_columns(std::vector<std::string> names) {
+  V2D_REQUIRE(rows_.empty(), "set_columns must precede add_row");
+  columns_ = std::move(names);
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  V2D_REQUIRE(cells.size() == columns_.size(),
+              "row width does not match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableWriter::integer(long v) { return std::to_string(v); }
+
+std::string TableWriter::str() const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  auto rule = [&] {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string TableWriter::tsv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c)
+    os << columns_[c] << (c + 1 < columns_.size() ? '\t' : '\n');
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? '\t' : '\n');
+  return os.str();
+}
+
+void TableWriter::print(std::ostream& os) const { os << str(); }
+
+}  // namespace v2d

@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table writer used by every bench to print paper-style tables.
+///
+/// Columns are declared up front; cells are added row by row.  The writer
+/// right-aligns numerics, supports blank cells (paper's Table I has holes),
+/// and can also dump tab-separated values for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace v2d {
+
+class TableWriter {
+public:
+  explicit TableWriter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Declare the header row.  Must be called before add_row.
+  void set_columns(std::vector<std::string> names);
+
+  /// Add a data row; size must match the column count.  Empty strings
+  /// render as blank cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision ('' if negative
+  /// sentinel used for "no data").
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long v);
+
+  /// Render as an aligned ASCII table.
+  std::string str() const;
+  /// Render as TSV (header + rows), for --tsv bench output.
+  std::string tsv() const;
+
+  void print(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+  size_t columns() const { return columns_.size(); }
+
+private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace v2d

@@ -1,0 +1,39 @@
+#include "support/units.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace v2d::units {
+
+namespace {
+std::string fmt(double v, const char* suffix) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v << ' ' << suffix;
+  return os.str();
+}
+}  // namespace
+
+std::string bytes(double n) {
+  if (n >= GiB) return fmt(n / GiB, "GiB");
+  if (n >= MiB) return fmt(n / MiB, "MiB");
+  if (n >= KiB) return fmt(n / KiB, "KiB");
+  return fmt(n, "B");
+}
+
+std::string seconds(double s) {
+  const double a = std::fabs(s);
+  if (a >= 1.0) return fmt(s, "s");
+  if (a >= 1e-3) return fmt(s * 1e3, "ms");
+  if (a >= 1e-6) return fmt(s * 1e6, "us");
+  return fmt(s * 1e9, "ns");
+}
+
+std::string rate(double per_second, const std::string& unit) {
+  if (per_second >= giga) return fmt(per_second / giga, ("G" + unit + "/s").c_str());
+  if (per_second >= mega) return fmt(per_second / mega, ("M" + unit + "/s").c_str());
+  if (per_second >= kilo) return fmt(per_second / kilo, ("k" + unit + "/s").c_str());
+  return fmt(per_second, (unit + "/s").c_str());
+}
+
+}  // namespace v2d::units

@@ -1,0 +1,28 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit constants and human-readable formatting helpers.
+
+#include <cstdint>
+#include <string>
+
+namespace v2d::units {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+
+/// "1.50 GiB", "37.2 KiB", ...
+std::string bytes(double n);
+/// "12.3 us", "4.56 s", ...
+std::string seconds(double s);
+/// "3.21 Gflop/s"
+std::string rate(double per_second, const std::string& unit);
+
+}  // namespace v2d::units

@@ -1,0 +1,44 @@
+#pragma once
+/// \file loops.hpp
+/// \brief Strip-mining helpers over vla::Context.
+///
+/// Every V2D kernel is a predicated strip-mined loop; this helper removes
+/// the boilerplate and guarantees the loop-control bookkeeping (whilelt +
+/// back-edge) is recorded consistently everywhere.
+
+#include <cstdint>
+
+#include "vla/vla.hpp"
+
+namespace v2d::vla {
+
+/// Run `body(i, pred)` for i = 0, VL, 2·VL, ... < n with the whilelt
+/// predicate for that strip.  Also books the loop-control ops.
+template <typename Body>
+inline void strip_mine(Context& ctx, std::uint64_t n, Body&& body) {
+  const unsigned vl = ctx.lanes();
+  for (std::uint64_t i = 0; i < n; i += vl) {
+    const Predicate p = ctx.whilelt(i, n);
+    body(i, p);
+    ctx.loop_iter(p.active);
+  }
+}
+
+/// Strip-mined reduction: accumulates into a VReg carried across strips and
+/// horizontally reduced once at the end — the canonical SVE dot-product
+/// shape (one faddv per kernel call, not per iteration).
+template <typename StripOp>
+inline double strip_reduce(Context& ctx, std::uint64_t n, StripOp&& strip) {
+  VReg acc = ctx.dup(0.0);
+  const unsigned vl = ctx.lanes();
+  std::uint64_t i = 0;
+  for (; i < n; i += vl) {
+    const Predicate p = ctx.whilelt(i, n);
+    acc = strip(i, p, acc);
+    ctx.loop_iter(p.active);
+  }
+  const Predicate full = ctx.ptrue();
+  return ctx.reduce_add(full, acc);
+}
+
+}  // namespace v2d::vla

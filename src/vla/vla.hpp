@@ -1,0 +1,284 @@
+#pragma once
+/// \file vla.hpp
+/// \brief Vector-length-agnostic SVE-like execution layer.
+///
+/// This is the repo's stand-in for ACLE SVE intrinsics.  Kernels are
+/// written once against vla::Context in the canonical SVE idiom —
+/// `whilelt` predicated strip-mined loops — and every operation both
+/// *computes* the double-precision result on the host and *records* an
+/// instruction into a sim::KernelCounts.  The recorded stream is later
+/// priced by sim::CostModel under any ExecMode/compiler profile, so
+/// "SVE on/off" and "which compiler" are pricing decisions, not re-runs.
+///
+/// Supported vector lengths are the architectural SVE range, 128–2048 bits
+/// in multiples of 128 (2–32 double lanes).  Predicates are prefix
+/// predicates (the only kind `whilelt` produces); that covers every V2D
+/// kernel, which are all strip-mined streaming loops.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "sim/isa.hpp"
+#include "support/error.hpp"
+
+namespace v2d::vla {
+
+/// Architectural bounds for SVE vector lengths.
+inline constexpr unsigned kMinVectorBits = 128;
+inline constexpr unsigned kMaxVectorBits = 2048;
+inline constexpr unsigned kMaxLanes = kMaxVectorBits / 64;
+
+/// A configured vector length (the "hardware" VL the kernel runs at).
+class VectorArch {
+public:
+  explicit VectorArch(unsigned bits = 512) : bits_(bits) {
+    V2D_REQUIRE(bits >= kMinVectorBits && bits <= kMaxVectorBits &&
+                    bits % kMinVectorBits == 0,
+                "SVE vector length must be 128..2048 bits in steps of 128");
+  }
+  unsigned bits() const { return bits_; }
+  unsigned lanes() const { return bits_ / 64; }
+
+private:
+  unsigned bits_;
+};
+
+/// Prefix predicate: lanes [0, active) enabled out of [0, width).
+struct Predicate {
+  std::uint32_t active = 0;
+  std::uint32_t width = 0;
+
+  bool any() const { return active > 0; }
+  bool full() const { return active == width; }
+};
+
+/// A vector register of f64 lanes.  Only the first Context::lanes() entries
+/// are meaningful.
+struct VReg {
+  std::array<double, kMaxLanes> lane{};
+
+  double operator[](unsigned i) const { return lane[i]; }
+  double& operator[](unsigned i) { return lane[i]; }
+};
+
+/// Execution + recording context.  One per simulated rank (cheap to
+/// construct).  All operations are predicated; inactive lanes of the
+/// result are zero (SVE zeroing predication).
+class Context {
+public:
+  explicit Context(VectorArch arch = VectorArch{}) : arch_(arch) {}
+
+  unsigned lanes() const { return arch_.lanes(); }
+  const VectorArch& arch() const { return arch_; }
+
+  /// Fold an externally-estimated instruction stream into the recording
+  /// (used for work the kernel does that is not expressed through VLA
+  /// calls, e.g. V2D's on-the-fly coefficient evaluation).  `lanes` is the
+  /// scalar-equivalent op count; vector instructions are derived at the
+  /// configured VL.
+  void record_external(sim::OpClass c, std::uint64_t scalar_ops,
+                       std::uint64_t bytes_read, std::uint64_t bytes_written) {
+    const auto i = static_cast<std::size_t>(c);
+    counts_.lanes[i] += scalar_ops;
+    counts_.instr[i] += (scalar_ops + lanes() - 1) / lanes();
+    counts_.bytes_read += bytes_read;
+    counts_.bytes_written += bytes_written;
+  }
+
+  /// Take and reset the accumulated recording.
+  sim::KernelCounts take_counts() {
+    sim::KernelCounts out = counts_;
+    counts_ = sim::KernelCounts{};
+    return out;
+  }
+  const sim::KernelCounts& counts() const { return counts_; }
+
+  // --- predicate construction -------------------------------------------
+  Predicate ptrue() {
+    record(sim::OpClass::Predicate, lanes());
+    return Predicate{lanes(), lanes()};
+  }
+
+  /// whilelt i, n — enable lanes for indices [i, min(i+VL, n)).
+  Predicate whilelt(std::uint64_t i, std::uint64_t n) {
+    record(sim::OpClass::Predicate, lanes());
+    const std::uint64_t remaining = i < n ? n - i : 0;
+    const std::uint32_t active =
+        remaining < lanes() ? static_cast<std::uint32_t>(remaining) : lanes();
+    return Predicate{active, lanes()};
+  }
+
+  /// Book the per-iteration loop control (index increment + back-edge).
+  /// `elems` is the number of elements this iteration advanced by, so the
+  /// scalar-equivalent pricing sees one branch per element.
+  void loop_iter(std::uint32_t elems) {
+    record(sim::OpClass::IntOp, elems);
+    record(sim::OpClass::Branch, elems);
+  }
+
+  // --- moves --------------------------------------------------------------
+  VReg dup(double x) {
+    record(sim::OpClass::Select, 1);
+    VReg r;
+    for (unsigned l = 0; l < lanes(); ++l) r[l] = x;
+    return r;
+  }
+
+  // --- memory -------------------------------------------------------------
+  VReg ld1(const Predicate& p, const double* base) {
+    check(p);
+    record(sim::OpClass::LoadContig, p.active);
+    counts_.bytes_read += p.active * sizeof(double);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = base[l];
+    return r;
+  }
+
+  void st1(const Predicate& p, double* base, const VReg& v) {
+    check(p);
+    record(sim::OpClass::StoreContig, p.active);
+    counts_.bytes_written += p.active * sizeof(double);
+    for (unsigned l = 0; l < p.active; ++l) base[l] = v[l];
+  }
+
+  /// Gather load: r[l] = base[idx[l]].
+  VReg ld1_gather(const Predicate& p, const double* base,
+                  std::span<const std::int64_t> idx) {
+    check(p);
+    V2D_REQUIRE(idx.size() >= p.active, "gather index vector too short");
+    record(sim::OpClass::LoadGather, p.active);
+    counts_.bytes_read += p.active * sizeof(double);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = base[idx[l]];
+    return r;
+  }
+
+  /// Scatter store: base[idx[l]] = v[l].
+  void st1_scatter(const Predicate& p, double* base,
+                   std::span<const std::int64_t> idx, const VReg& v) {
+    check(p);
+    V2D_REQUIRE(idx.size() >= p.active, "scatter index vector too short");
+    record(sim::OpClass::StoreScatter, p.active);
+    counts_.bytes_written += p.active * sizeof(double);
+    for (unsigned l = 0; l < p.active; ++l) base[idx[l]] = v[l];
+  }
+
+  // --- arithmetic ----------------------------------------------------------
+  VReg add(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopAdd,
+                  [](double x, double y) { return x + y; });
+  }
+  VReg sub(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopAdd,
+                  [](double x, double y) { return x - y; });
+  }
+  VReg mul(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopMul,
+                  [](double x, double y) { return x * y; });
+  }
+  VReg div(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopDiv,
+                  [](double x, double y) { return x / y; });
+  }
+  VReg vmin(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopCmp,
+                  [](double x, double y) { return x < y ? x : y; });
+  }
+  VReg vmax(const Predicate& p, const VReg& a, const VReg& b) {
+    return binary(p, a, b, sim::OpClass::FlopCmp,
+                  [](double x, double y) { return x > y ? x : y; });
+  }
+
+  /// Fused multiply-add: a*b + c (SVE fmla, zeroing predication).
+  VReg fma(const Predicate& p, const VReg& a, const VReg& b, const VReg& c) {
+    check(p);
+    record(sim::OpClass::FlopFma, p.active);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = a[l] * b[l] + c[l];
+    return r;
+  }
+
+  /// Fused multiply-add with *merging* predication: inactive lanes keep
+  /// c's value (SVE fmla/m).  This is what reduction accumulators need —
+  /// a zeroing tail strip would wipe the lanes accumulated so far.
+  VReg fma_merge(const Predicate& p, const VReg& a, const VReg& b,
+                 const VReg& c) {
+    check(p);
+    record(sim::OpClass::FlopFma, p.active);
+    VReg r = c;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = a[l] * b[l] + c[l];
+    return r;
+  }
+
+  VReg sqrt(const Predicate& p, const VReg& a) {
+    check(p);
+    record(sim::OpClass::FlopSqrt, p.active);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = __builtin_sqrt(a[l]);
+    return r;
+  }
+
+  VReg abs(const Predicate& p, const VReg& a) {
+    check(p);
+    record(sim::OpClass::FlopCmp, p.active);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l)
+      r[l] = a[l] < 0.0 ? -a[l] : a[l];
+    return r;
+  }
+
+  /// Lane select: p ? a : b.  With prefix predicates this implements SVE
+  /// `sel` where the predicate came from a comparison collapsed to a prefix;
+  /// used for boundary handling.
+  VReg sel(const Predicate& p, const VReg& a, const VReg& b) {
+    record(sim::OpClass::Select, p.width);
+    VReg r;
+    for (unsigned l = 0; l < p.width && l < lanes(); ++l)
+      r[l] = l < p.active ? a[l] : b[l];
+    return r;
+  }
+
+  // --- reductions -----------------------------------------------------------
+  /// Horizontal sum of active lanes (SVE faddv).
+  double reduce_add(const Predicate& p, const VReg& a) {
+    check(p);
+    record(sim::OpClass::Reduce, p.active);
+    double s = 0.0;
+    for (unsigned l = 0; l < p.active; ++l) s += a[l];
+    return s;
+  }
+
+  double reduce_max(const Predicate& p, const VReg& a) {
+    check(p);
+    record(sim::OpClass::Reduce, p.active);
+    double s = p.any() ? a[0] : 0.0;
+    for (unsigned l = 1; l < p.active; ++l) s = a[l] > s ? a[l] : s;
+    return s;
+  }
+
+private:
+  void check(const Predicate& p) const {
+    V2D_CHECK(p.width == lanes(), "predicate built for a different VL");
+    V2D_CHECK(p.active <= p.width, "corrupt predicate");
+  }
+
+  template <typename F>
+  VReg binary(const Predicate& p, const VReg& a, const VReg& b,
+              sim::OpClass c, F f) {
+    check(p);
+    record(c, p.active);
+    VReg r;
+    for (unsigned l = 0; l < p.active; ++l) r[l] = f(a[l], b[l]);
+    return r;
+  }
+
+  void record(sim::OpClass c, std::uint64_t active) {
+    counts_.record(c, active);
+  }
+
+  VectorArch arch_;
+  sim::KernelCounts counts_;
+};
+
+}  // namespace v2d::vla

@@ -1,0 +1,95 @@
+/// \file test_compiler.cpp
+/// \brief Unit tests for the compiler codegen profiles.
+
+#include <gtest/gtest.h>
+
+#include "compiler/profile.hpp"
+#include "support/error.hpp"
+
+namespace v2d::compiler {
+namespace {
+
+TEST(Profiles, AllPresetsExist) {
+  const auto all = all_profiles();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name().find("GNU"), 0u);
+  EXPECT_EQ(all[2].mode(), sim::ExecMode::SVE);
+  EXPECT_EQ(all[3].mode(), sim::ExecMode::Scalar);  // Cray no-opt
+}
+
+TEST(Profiles, MvapichVariantSharesCodegen) {
+  const CodegenProfile a = gnu_11();
+  const CodegenProfile b = find_profile("gnu-mvapich");
+  // Same compiler: identical codegen factors per family.
+  for (std::size_t i = 0; i < kNumKernelFamilies; ++i) {
+    const auto f = static_cast<KernelFamily>(i);
+    EXPECT_DOUBLE_EQ(a.factors(f).vectorized_fraction,
+                     b.factors(f).vectorized_fraction);
+    EXPECT_DOUBLE_EQ(a.factors(f).scalar_cpi_scale,
+                     b.factors(f).scalar_cpi_scale);
+  }
+  // Different MPI stack.
+  EXPECT_NE(a.mpi().name, b.mpi().name);
+  EXPECT_EQ(b.mpi().name, "MVAPICH");
+}
+
+TEST(Profiles, FindByShortName) {
+  EXPECT_EQ(find_profile("cray").mode(), sim::ExecMode::SVE);
+  EXPECT_EQ(find_profile("cray-noopt").mode(), sim::ExecMode::Scalar);
+  EXPECT_NO_THROW(find_profile("gnu"));
+  EXPECT_NO_THROW(find_profile("fujitsu"));
+  EXPECT_NO_THROW(find_profile("clang"));
+  EXPECT_THROW(find_profile("icc"), Error);
+}
+
+TEST(Profiles, WithoutSveFlipsModeOnly) {
+  const CodegenProfile p = cray_2103();
+  const CodegenProfile q = p.without_sve();
+  EXPECT_EQ(q.mode(), sim::ExecMode::Scalar);
+  EXPECT_NE(q.name(), p.name());
+  // Scalar codegen quality is preserved.
+  EXPECT_DOUBLE_EQ(q.factors(KernelFamily::Daxpy).scalar_cpi_scale,
+                   p.factors(KernelFamily::Daxpy).scalar_cpi_scale);
+}
+
+TEST(Profiles, FamilyOverridesApply) {
+  const CodegenProfile p = cray_2103();
+  // Physics is deliberately penalized relative to the hot kernels.
+  EXPECT_LT(p.factors(KernelFamily::Physics).vectorized_fraction,
+            p.factors(KernelFamily::Matvec).vectorized_fraction);
+  EXPECT_GT(p.factors(KernelFamily::Physics).scale(sim::OpClass::FlopFma),
+            p.factors(KernelFamily::Matvec).scale(sim::OpClass::FlopFma));
+}
+
+TEST(Profiles, SetFamilyMutates) {
+  CodegenProfile p = gnu_11();
+  sim::CodegenFactors f = p.factors(KernelFamily::Daxpy);
+  f.vectorized_fraction = 0.123;
+  p.set_family(KernelFamily::Daxpy, f);
+  EXPECT_DOUBLE_EQ(p.factors(KernelFamily::Daxpy).vectorized_fraction, 0.123);
+}
+
+TEST(Profiles, MpiStacksDiffer) {
+  EXPECT_NE(cray_2103().mpi().name, gnu_11().mpi().name);
+  EXPECT_NE(fujitsu_45().mpi().name, cray_2103().mpi().name);
+  // Fujitsu's stack scales best: smallest per-rank progress cost.
+  EXPECT_LT(fujitsu_45().mpi().per_rank_overhead_s,
+            cray_2103().mpi().per_rank_overhead_s);
+  EXPECT_LT(fujitsu_45().mpi().per_rank_overhead_s,
+            gnu_11().mpi().per_rank_overhead_s);
+}
+
+TEST(Profiles, FamilyNamesComplete) {
+  for (std::size_t i = 0; i < kNumKernelFamilies; ++i) {
+    EXPECT_STRNE(kernel_family_name(static_cast<KernelFamily>(i)), "?");
+  }
+}
+
+TEST(Profiles, GnuVectorizesLessThanCray) {
+  // GCC 11's SVE auto-vectorization lagged the vendor compilers.
+  EXPECT_LT(gnu_11().factors(KernelFamily::Matvec).vectorized_fraction,
+            cray_2103().factors(KernelFamily::Matvec).vectorized_fraction);
+}
+
+}  // namespace
+}  // namespace v2d::compiler

@@ -1,0 +1,163 @@
+/// \file test_core.cpp
+/// \brief End-to-end tests of the Simulation driver and run configuration.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/v2d.hpp"
+#include "io/h5lite.hpp"
+#include "support/error.hpp"
+
+namespace v2d::core {
+namespace {
+
+RunConfig small_config() {
+  RunConfig cfg;
+  cfg.nx1 = 40;
+  cfg.nx2 = 20;
+  cfg.steps = 2;
+  cfg.dt = 0.02;
+  return cfg;
+}
+
+TEST(Config, OptionRoundTrip) {
+  Options opt;
+  RunConfig::register_options(opt);
+  const char* argv[] = {"prog",          "--nx1",      "64",
+                        "--nprx1",       "4",          "--nprx2",
+                        "2",             "--compilers", "gnu,cray",
+                        "--ganged",      "0",          "--limiter",
+                        "wilson",        "--precond",  "jacobi"};
+  opt.parse(15, argv);
+  const RunConfig cfg = RunConfig::from_options(opt);
+  EXPECT_EQ(cfg.nx1, 64);
+  EXPECT_EQ(cfg.nranks(), 8);
+  ASSERT_EQ(cfg.compilers.size(), 2u);
+  EXPECT_EQ(cfg.compilers[1], "cray");
+  EXPECT_FALSE(cfg.ganged);
+  EXPECT_EQ(cfg.limiter, rad::LimiterKind::Wilson);
+  EXPECT_EQ(cfg.preconditioner, "jacobi");
+}
+
+TEST(SimulationTest, RunsAndConverges) {
+  core::Simulation sim(small_config());
+  sim.run();
+  EXPECT_EQ(sim.steps_taken(), 2);
+  EXPECT_NEAR(sim.time(), 0.04, 1e-12);
+  EXPECT_GT(sim.elapsed(0), 0.0);
+  EXPECT_GT(sim.total_energy(), 0.0);
+}
+
+TEST(SimulationTest, SveFasterThanNoSve) {
+  RunConfig cfg = small_config();
+  cfg.compilers = {"cray", "cray-noopt"};
+  core::Simulation sim(cfg);
+  sim.run();
+  EXPECT_LT(sim.elapsed(0), sim.elapsed(1));
+}
+
+TEST(SimulationTest, CompilerOrderingAtOneProcessor) {
+  RunConfig cfg = small_config();
+  cfg.compilers = {"gnu", "fujitsu", "cray"};
+  core::Simulation sim(cfg);
+  sim.run();
+  // Table I, P = 1: GNU slowest, Cray fastest.
+  EXPECT_GT(sim.elapsed(0), sim.elapsed(1));
+  EXPECT_GT(sim.elapsed(1), sim.elapsed(2));
+}
+
+TEST(SimulationTest, ProfilerSeesThreeCallSites) {
+  core::Simulation sim(small_config());
+  sim.run();
+  const auto flat = sim.profiler(0).flat();
+  int sites = 0;
+  for (const auto& e : flat) {
+    if (e.path.find("bicgstab-site-") != std::string::npos) {
+      ++sites;
+      EXPECT_EQ(e.calls, 2u);  // two steps
+      EXPECT_GT(e.inclusive_s, 0.0);
+    }
+  }
+  EXPECT_EQ(sites, 3);
+}
+
+TEST(SimulationTest, IterationsAreTilingIndependent) {
+  int total_ref = -1;
+  for (const auto [px1, px2] : {std::pair{1, 1}, std::pair{4, 2},
+                                std::pair{2, 4}}) {
+    RunConfig cfg = small_config();
+    cfg.nprx1 = px1;
+    cfg.nprx2 = px2;
+    core::Simulation sim(cfg);
+    const auto stats = sim.advance();
+    if (total_ref < 0) total_ref = stats.total_iterations();
+    EXPECT_EQ(stats.total_iterations(), total_ref)
+        << px1 << "x" << px2;
+  }
+}
+
+TEST(SimulationTest, MoreRanksDontSlowSmallCounts) {
+  // With the paper's configuration shape, going 1 -> 8 ranks must reduce
+  // the simulated time (parallel speedup at small P).
+  RunConfig cfg1 = small_config();
+  RunConfig cfg8 = small_config();
+  cfg8.nprx1 = 4;
+  cfg8.nprx2 = 2;
+  core::Simulation s1(cfg1), s8(cfg8);
+  s1.run();
+  s8.run();
+  EXPECT_LT(s8.elapsed(0), s1.elapsed(0));
+}
+
+TEST(SimulationTest, AnalyticErrorSmallForUnlimitedDiffusion) {
+  RunConfig cfg = small_config();
+  cfg.nx1 = 64;
+  cfg.nx2 = 32;
+  cfg.limiter = rad::LimiterKind::None;
+  cfg.steps = 5;
+  core::Simulation sim(cfg);
+  sim.run();
+  // First-order backward Euler at dt=0.02: a few percent truncation error.
+  EXPECT_LT(sim.analytic_error(), 0.04);
+}
+
+TEST(SimulationTest, CheckpointWritesFields) {
+  const std::string path = ::testing::TempDir() + "/v2d_ckpt.h5l";
+  RunConfig cfg = small_config();
+  cfg.checkpoint_path = path;
+  core::Simulation sim(cfg);
+  sim.run();
+
+  const io::H5File f = io::H5File::load(path);
+  EXPECT_EQ(f.root().attr_str("code"), "v2dsve");
+  EXPECT_EQ(f.root().attr_i64("step"), 2);
+  const io::Dataset& d = f.root().group("fields").dataset("radiation_energy");
+  EXPECT_EQ(d.element_count(),
+            static_cast<std::uint64_t>(cfg.ns) * cfg.nx1 * cfg.nx2);
+  // Io work was priced.
+  EXPECT_TRUE(sim.exec().merged_ledger(0).has("checkpoint"));
+  std::remove(path.c_str());
+}
+
+TEST(SimulationTest, GangedReducesAllreduceCount) {
+  RunConfig ganged = small_config(), classic = small_config();
+  ganged.nprx1 = classic.nprx1 = 4;
+  classic.ganged = false;
+  core::Simulation sg(ganged), sc(classic);
+  sg.run();
+  sc.run();
+  const auto mg = sg.exec().merged_ledger(0);
+  const auto mc = sc.exec().merged_ledger(0);
+  EXPECT_LT(mg.at("mpi_allreduce").comm_messages,
+            mc.at("mpi_allreduce").comm_messages);
+}
+
+TEST(SimulationTest, UnknownCompilerRejected) {
+  RunConfig cfg = small_config();
+  cfg.compilers = {"msvc"};
+  EXPECT_THROW(core::Simulation sim(cfg), Error);
+}
+
+}  // namespace
+}  // namespace v2d::core

@@ -1,0 +1,221 @@
+/// \file test_hydro.cpp
+/// \brief Tests for the EOS, the HLL Euler solver and rad-hydro coupling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hydro/coupling.hpp"
+#include "hydro/euler.hpp"
+#include "hydro/setups.hpp"
+#include "rad/gaussian.hpp"
+#include "support/error.hpp"
+
+namespace v2d::hydro {
+namespace {
+
+struct HydroSetup {
+  grid::Grid2D g;
+  grid::Decomposition d;
+  GammaLawEos eos;
+
+  explicit HydroSetup(int nx1 = 64, int nx2 = 8, int px1 = 1, int px2 = 1,
+                      double gamma = 1.4)
+      : g(nx1, nx2, 0.0, 1.0, 0.0, 0.125),
+        d(g, mpisim::CartTopology(px1, px2)),
+        eos(gamma) {}
+};
+
+// --- EOS --------------------------------------------------------------------
+
+TEST(Eos, GammaLawIdentities) {
+  const GammaLawEos eos(1.4);
+  const double rho = 2.0, p = 3.0;
+  EXPECT_DOUBLE_EQ(eos.pressure(rho, eos.eint(rho, p)), p);
+  EXPECT_NEAR(eos.sound_speed(rho, p), std::sqrt(1.4 * 1.5), 1e-12);
+  EXPECT_THROW(GammaLawEos(1.0), Error);
+}
+
+// --- primitive/conserved round trip ------------------------------------------
+
+TEST(HydroStateTest, PrimitiveRoundTrip) {
+  HydroSetup su(8, 8);
+  HydroState state(su.g, su.d);
+  state.set_primitive(su.eos, 3, 4, 2.0, 0.5, -0.25, 1.5);
+  EXPECT_DOUBLE_EQ(state.field().gget(kRho, 3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(state.field().gget(kMom1, 3, 4), 1.0);
+  EXPECT_DOUBLE_EQ(state.field().gget(kMom2, 3, 4), -0.5);
+  const double kinetic = 0.5 * 2.0 * (0.25 + 0.0625);
+  EXPECT_NEAR(state.field().gget(kEner, 3, 4),
+              1.5 / 0.4 + kinetic, 1e-12);
+  EXPECT_THROW(state.set_primitive(su.eos, 0, 0, -1.0, 0, 0, 1.0), Error);
+}
+
+// --- Sod shock tube -------------------------------------------------------------
+
+TEST(Euler, SodShockTube) {
+  HydroSetup su(200, 4);
+  HydroState state(su.g, su.d);
+  setup_sod(state, su.eos, 0.5);
+  HydroSolver solver(su.g, su.d, su.eos, HydroBc::Outflow, 0.4);
+  linalg::ExecContext ctx;
+  double t = 0.0;
+  while (t < 0.2) {
+    const double dt = std::min(solver.cfl_dt(ctx, state), 0.2 - t);
+    solver.step(ctx, state, dt);
+    t += dt;
+  }
+  // Exact Sod solution at t=0.2 (gamma=1.4): contact at x≈0.685, shock at
+  // x≈0.850, post-shock density ≈ 0.266, left state undisturbed до x≈0.26.
+  const int j = 2;
+  auto rho_at = [&](double x) {
+    const int i = static_cast<int>(x * 200);
+    return state.field().gget(kRho, i, j);
+  };
+  EXPECT_NEAR(rho_at(0.10), 1.0, 0.02);     // undisturbed left state
+  EXPECT_NEAR(rho_at(0.95), 0.125, 0.01);   // undisturbed right state
+  EXPECT_NEAR(rho_at(0.75), 0.266, 0.05);   // between contact and shock
+  // Shock has passed x=0.8 but not x=0.9.
+  EXPECT_GT(rho_at(0.80), 0.2);
+  EXPECT_LT(rho_at(0.90), 0.15);
+}
+
+TEST(Euler, SodPositivity) {
+  HydroSetup su(100, 4);
+  HydroState state(su.g, su.d);
+  setup_sod(state, su.eos);
+  HydroSolver solver(su.g, su.d, su.eos);
+  linalg::ExecContext ctx;
+  for (int s = 0; s < 50; ++s) {
+    solver.step(ctx, state, solver.cfl_dt(ctx, state));
+  }
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 100; ++i)
+      EXPECT_GT(state.field().gget(kRho, i, j), 0.0);
+}
+
+TEST(Euler, UniformFlowIsExact) {
+  // A uniform moving state must stay exactly uniform (Galilean sanity).
+  HydroSetup su(32, 8);
+  HydroState state(su.g, su.d);
+  const auto& g = su.g;
+  for (int j = 0; j < g.nx2(); ++j)
+    for (int i = 0; i < g.nx1(); ++i)
+      state.set_primitive(su.eos, i, j, 1.0, 0.3, 0.1, 1.0);
+  HydroSolver solver(su.g, su.d, su.eos, HydroBc::Outflow);
+  linalg::ExecContext ctx;
+  for (int s = 0; s < 5; ++s) solver.step(ctx, state, 0.001);
+  for (int j = 0; j < g.nx2(); ++j)
+    for (int i = 0; i < g.nx1(); ++i)
+      EXPECT_NEAR(state.field().gget(kRho, i, j), 1.0, 1e-12);
+}
+
+// --- Sedov blast ------------------------------------------------------------------
+
+TEST(Euler, SedovConservesMassAndSymmetry) {
+  const grid::Grid2D g(40, 40, 0.0, 1.0, 0.0, 1.0);
+  const grid::Decomposition d(g, mpisim::CartTopology(2, 2));
+  const GammaLawEos eos(1.4);
+  HydroState state(g, d);
+  setup_sedov(state, eos, 1.0, 0.08);
+  const double mass0 = state.total_mass();
+  const double energy0 = state.total_energy();
+  HydroSolver solver(g, d, eos, HydroBc::Reflecting, 0.3);
+  linalg::ExecContext ctx;
+  for (int s = 0; s < 20; ++s) {
+    solver.step(ctx, state, solver.cfl_dt(ctx, state));
+  }
+  // Reflecting box: mass and energy conserved.
+  EXPECT_NEAR(state.total_mass(), mass0, 1e-10 * mass0);
+  EXPECT_NEAR(state.total_energy(), energy0, 1e-10 * energy0);
+  // Quadrant symmetry of the blast (center at 0.5, 0.5).
+  EXPECT_NEAR(state.field().gget(kRho, 10, 20),
+              state.field().gget(kRho, 29, 19), 1e-9);
+  EXPECT_NEAR(state.field().gget(kRho, 20, 10),
+              state.field().gget(kRho, 19, 29), 1e-9);
+}
+
+TEST(Euler, BlastExpandsOutward) {
+  const grid::Grid2D g(32, 32, 0.0, 1.0, 0.0, 1.0);
+  const grid::Decomposition d(g, mpisim::CartTopology(1, 1));
+  const GammaLawEos eos(1.4);
+  HydroState state(g, d);
+  setup_sedov(state, eos, 1.0, 0.1);
+  HydroSolver solver(g, d, eos, HydroBc::Outflow, 0.3);
+  linalg::ExecContext ctx;
+  const double rho_mid_before = state.field().gget(kRho, 24, 16);
+  for (int s = 0; s < 30; ++s)
+    solver.step(ctx, state, solver.cfl_dt(ctx, state));
+  // A shell forms: density at the former center drops, mid-radius rises.
+  EXPECT_LT(state.field().gget(kRho, 16, 16), 1.0);
+  EXPECT_GT(state.field().gget(kRho, 24, 16), rho_mid_before);
+}
+
+TEST(Euler, CflRespectsSoundSpeed) {
+  HydroSetup su(32, 8);
+  HydroState state(su.g, su.d);
+  setup_uniform(state, su.eos, 1.0, 1.0);
+  HydroSolver solver(su.g, su.d, su.eos, HydroBc::Outflow, 0.4);
+  linalg::ExecContext ctx;
+  const double dt = solver.cfl_dt(ctx, state);
+  const double c = su.eos.sound_speed(1.0, 1.0);
+  // The limiting direction is whichever has the smaller zone width.
+  EXPECT_NEAR(dt, 0.4 * std::min(su.g.dx1(), su.g.dx2()) / c, 1e-12);
+}
+
+TEST(Euler, TilingInvariance) {
+  // Hydro is tiling-exact (elementwise fluxes + ghost exchange).
+  auto run = [](int px1, int px2) {
+    const grid::Grid2D g(48, 12, 0.0, 1.0, 0.0, 0.25);
+    const grid::Decomposition d(g, mpisim::CartTopology(px1, px2));
+    const GammaLawEos eos(1.4);
+    HydroState state(g, d);
+    setup_sod(state, eos);
+    HydroSolver solver(g, d, eos);
+    linalg::ExecContext ctx;
+    for (int s = 0; s < 10; ++s) solver.step(ctx, state, 0.002);
+    return state.field().gather_global();
+  };
+  const auto a = run(1, 1);
+  const auto b = run(4, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_DOUBLE_EQ(a[k], b[k]);
+}
+
+// --- rad-hydro coupling --------------------------------------------------------
+
+TEST(Coupling, EnergyIsExactlyTransferred) {
+  const grid::Grid2D g(16, 16, 0.0, 1.0, 0.0, 1.0);
+  const grid::Decomposition d(g, mpisim::CartTopology(2, 1));
+  const GammaLawEos eos(5.0 / 3.0);
+  HydroState gas(g, d);
+  setup_uniform(gas, eos, 1.0, 0.1);
+
+  rad::OpacitySet opac(2);
+  opac.absorption(0) = rad::OpacityLaw::constant(3.0);
+  opac.absorption(1) = rad::OpacityLaw::constant(3.0);
+  rad::FldConfig cfg;
+  rad::FldBuilder builder(g, d, 2, opac, cfg);
+  builder.temperature().fill(0.1);  // cold matter, hot radiation
+
+  linalg::DistVector e_rad(g, d, 2);
+  linalg::ExecContext ctx;
+  e_rad.fill(ctx, 5.0);
+
+  const double gas_before = gas.total_energy();
+  const double rad_before = rad::GaussianPulse::total_energy(e_rad);
+  const CouplingResult res =
+      apply_rad_heating(ctx, gas, e_rad, builder, eos, 0.01);
+  const double gas_after = gas.total_energy();
+  const double rad_after = rad::GaussianPulse::total_energy(e_rad);
+
+  EXPECT_GT(res.energy_to_gas, 0.0);  // radiation heats the cold gas
+  EXPECT_NEAR(gas_after - gas_before, res.energy_to_gas,
+              1e-10 * std::fabs(res.energy_to_gas));
+  EXPECT_NEAR(rad_before - rad_after, res.energy_to_gas,
+              1e-10 * std::fabs(res.energy_to_gas));
+}
+
+}  // namespace
+}  // namespace v2d::hydro

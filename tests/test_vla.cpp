@@ -1,0 +1,217 @@
+/// \file test_vla.cpp
+/// \brief Unit and property tests for the SVE-like VLA execution layer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "vla/loops.hpp"
+#include "vla/vla.hpp"
+
+namespace v2d::vla {
+namespace {
+
+using sim::OpClass;
+
+TEST(VectorArchTest, ValidLengths) {
+  for (unsigned bits = 128; bits <= 2048; bits += 128) {
+    EXPECT_EQ(VectorArch(bits).lanes(), bits / 64);
+  }
+  EXPECT_THROW(VectorArch(64), Error);
+  EXPECT_THROW(VectorArch(192), Error);   // not a multiple of 128
+  EXPECT_THROW(VectorArch(4096), Error);
+}
+
+TEST(Predicates, WhileltShapes) {
+  Context ctx(VectorArch(512));  // 8 lanes
+  EXPECT_EQ(ctx.whilelt(0, 20).active, 8u);
+  EXPECT_EQ(ctx.whilelt(16, 20).active, 4u);
+  EXPECT_EQ(ctx.whilelt(24, 20).active, 0u);
+  EXPECT_TRUE(ctx.ptrue().full());
+}
+
+TEST(Ops, LoadComputeStore) {
+  Context ctx(VectorArch(512));
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y(8, 0.0);
+  const Predicate p = ctx.ptrue();
+  const VReg vx = ctx.ld1(p, x.data());
+  const VReg two = ctx.dup(2.0);
+  ctx.st1(p, y.data(), ctx.mul(p, vx, two));
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(y[i], 2.0 * x[i]);
+}
+
+TEST(Ops, PredicationMasksTail) {
+  Context ctx(VectorArch(512));
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> y(8, -1.0);
+  const Predicate p = ctx.whilelt(5, 8);  // 3 active lanes
+  ctx.st1(p, y.data(), ctx.ld1(p, x.data()));
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  EXPECT_DOUBLE_EQ(y[3], -1.0);  // untouched
+}
+
+TEST(Ops, FmaAndSubDivSqrtAbs) {
+  Context ctx(VectorArch(256));  // 4 lanes
+  const Predicate p = ctx.ptrue();
+  std::vector<double> a = {1, 4, 9, 16}, b = {2, 2, 2, 2}, c = {1, 1, 1, 1};
+  const VReg va = ctx.ld1(p, a.data());
+  const VReg vb = ctx.ld1(p, b.data());
+  const VReg vc = ctx.ld1(p, c.data());
+  const VReg fma = ctx.fma(p, va, vb, vc);
+  EXPECT_DOUBLE_EQ(fma[2], 19.0);
+  const VReg sub = ctx.sub(p, va, vb);
+  EXPECT_DOUBLE_EQ(sub[0], -1.0);
+  const VReg div = ctx.div(p, va, vb);
+  EXPECT_DOUBLE_EQ(div[3], 8.0);
+  const VReg sq = ctx.sqrt(p, va);
+  EXPECT_DOUBLE_EQ(sq[2], 3.0);
+  const VReg ab = ctx.abs(p, sub);
+  EXPECT_DOUBLE_EQ(ab[0], 1.0);
+  const VReg mn = ctx.vmin(p, va, vb);
+  EXPECT_DOUBLE_EQ(mn[1], 2.0);
+  const VReg mx = ctx.vmax(p, va, vb);
+  EXPECT_DOUBLE_EQ(mx[1], 4.0);
+}
+
+TEST(Ops, GatherScatter) {
+  Context ctx(VectorArch(256));
+  const Predicate p = ctx.ptrue();
+  std::vector<double> base = {10, 20, 30, 40, 50};
+  const std::vector<std::int64_t> idx = {4, 0, 2, 1};
+  const VReg g = ctx.ld1_gather(p, base.data(), idx);
+  EXPECT_DOUBLE_EQ(g[0], 50.0);
+  EXPECT_DOUBLE_EQ(g[3], 20.0);
+  std::vector<double> out(5, 0.0);
+  ctx.st1_scatter(p, out.data(), idx, g);
+  EXPECT_DOUBLE_EQ(out[4], 50.0);
+  EXPECT_DOUBLE_EQ(out[1], 20.0);
+}
+
+TEST(Ops, Reductions) {
+  Context ctx(VectorArch(512));
+  const Predicate p = ctx.whilelt(0, 5);
+  std::vector<double> x = {1, 2, 3, 4, 5, 99, 99, 99};
+  const VReg v = ctx.ld1(p, x.data());
+  EXPECT_DOUBLE_EQ(ctx.reduce_add(p, v), 15.0);
+  EXPECT_DOUBLE_EQ(ctx.reduce_max(p, v), 5.0);
+}
+
+TEST(Recording, CountsInstructionsAndLanes) {
+  Context ctx(VectorArch(512));
+  std::vector<double> x(20, 1.0), y(20, 2.0);
+  strip_mine(ctx, 20, [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.add(p, vx, vy));
+  });
+  const sim::KernelCounts c = ctx.take_counts();
+  const auto idx = [](OpClass o) { return static_cast<std::size_t>(o); };
+  EXPECT_EQ(c.instr[idx(OpClass::LoadContig)], 6u);   // 3 strips x 2 loads
+  EXPECT_EQ(c.lanes[idx(OpClass::LoadContig)], 40u);  // 20 elements x 2
+  EXPECT_EQ(c.instr[idx(OpClass::StoreContig)], 3u);
+  EXPECT_EQ(c.lanes[idx(OpClass::FlopAdd)], 20u);
+  EXPECT_EQ(c.bytes_read, 40u * 8);
+  EXPECT_EQ(c.bytes_written, 20u * 8);
+  // take_counts resets.
+  EXPECT_EQ(ctx.counts().total_instr(), 0u);
+}
+
+TEST(Recording, RecordExternalFoldsIn) {
+  Context ctx(VectorArch(512));
+  ctx.record_external(OpClass::LoadContig, 80, 640, 0);
+  const auto c = ctx.take_counts();
+  const auto idx = [](OpClass o) { return static_cast<std::size_t>(o); };
+  EXPECT_EQ(c.lanes[idx(OpClass::LoadContig)], 80u);
+  EXPECT_EQ(c.instr[idx(OpClass::LoadContig)], 10u);
+  EXPECT_EQ(c.bytes_read, 640u);
+}
+
+TEST(Loops, StripReduceMatchesStdAccumulate) {
+  Context ctx(VectorArch(384));  // 6 lanes, odd size
+  std::vector<double> x(101);
+  Rng rng(5);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const double got =
+      strip_reduce(ctx, x.size(), [&](std::uint64_t i, const Predicate& p,
+                                      VReg acc) {
+        const VReg vx = ctx.ld1(p, &x[i]);
+        const VReg one = ctx.dup(1.0);
+        return ctx.fma_merge(p, vx, one, acc);
+      });
+  const double want = std::accumulate(x.begin(), x.end(), 0.0);
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(Predicates, MismatchedWidthRejected) {
+  Context ctx8(VectorArch(512));
+  Context ctx4(VectorArch(256));
+  const Predicate p4 = ctx4.ptrue();
+  std::vector<double> x(8, 0.0);
+  EXPECT_THROW(ctx8.ld1(p4, x.data()), Error);
+}
+
+/// Property: every arithmetic kernel produces identical results at every
+/// architectural vector length (VLA correctness — the paper's §I-B).
+class VlSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VlSweep, AxpyMatchesScalarReference) {
+  const unsigned bits = GetParam();
+  Context ctx{VectorArch(bits)};
+  const std::size_t n = 137;  // awkward tail for every VL
+  std::vector<double> x(n), y(n), ref(n);
+  Rng rng(bits);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-2, 2);
+    y[i] = ref[i] = rng.uniform(-2, 2);
+  }
+  const double a = 1.00007;
+  const VReg va = ctx.dup(a);
+  strip_mine(ctx, n, [&](std::uint64_t i, const Predicate& p) {
+    const VReg vx = ctx.ld1(p, &x[i]);
+    const VReg vy = ctx.ld1(p, &y[i]);
+    ctx.st1(p, &y[i], ctx.fma(p, vx, va, vy));
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(y[i], a * x[i] + ref[i]) << "lane " << i;
+  }
+}
+
+TEST_P(VlSweep, DotIsVlInvariantToRounding) {
+  const unsigned bits = GetParam();
+  Context ctx{VectorArch(bits)};
+  const std::size_t n = 97;
+  std::vector<double> x(n), y(n);
+  Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0, 1);
+    y[i] = rng.uniform(0, 1);
+  }
+  const double got =
+      strip_reduce(ctx, n, [&](std::uint64_t i, const Predicate& p, VReg acc) {
+        return ctx.fma_merge(p, ctx.ld1(p, &x[i]), ctx.ld1(p, &y[i]), acc);
+      });
+  double want = 0.0;
+  for (std::size_t i = 0; i < n; ++i) want += x[i] * y[i];
+  EXPECT_NEAR(got, want, 1e-12 * n);
+}
+
+TEST_P(VlSweep, StripMineCoversEveryIndexOnce) {
+  const unsigned bits = GetParam();
+  Context ctx{VectorArch(bits)};
+  std::vector<int> touched(1000, 0);
+  strip_mine(ctx, touched.size(), [&](std::uint64_t i, const Predicate& p) {
+    for (unsigned l = 0; l < p.active; ++l) touched[i + l]++;
+  });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVectorLengths, VlSweep,
+                         ::testing::Values(128u, 256u, 384u, 512u, 1024u,
+                                           2048u));
+
+}  // namespace
+}  // namespace v2d::vla
