@@ -1,0 +1,150 @@
+/// \file bench_mg.cpp
+/// \brief Ablation: multigrid vs SPAI-family preconditioning at scale.
+///
+/// The Swesty–Smolarski–Saylor SPAI family buys cheap, perfectly
+/// vectorizable applications at the price of an iteration count that
+/// grows with resolution.  The geometric multigrid V-cycle inverts that
+/// trade: each application costs several stencil sweeps plus coarse-level
+/// collectives, but the preconditioned iteration count is essentially
+/// h-independent.  This bench measures the crossover on the FLD
+/// diffusion system (solve site 1 of the radiation step) with CG, across
+/// grid sizes and rank counts, under the Cray profile:
+///
+///   iterations per solve, preconditioner build/apply seconds, matvec
+///   seconds, and total modelled wall-time.
+///
+///   ./bench_mg [--sizes 64,128,256] [--ranks 1,16] [--tol 1e-8] [--tsv]
+///
+/// The coarse-level gathers make this the first solver component whose
+/// simulated communication is latency- rather than bandwidth-dominated —
+/// watch the mg rows' comm share grow with rank count.
+
+#include <iostream>
+#include <sstream>
+
+#include "core/config.hpp"
+#include "linalg/cg.hpp"
+#include "mpisim/exec_model.hpp"
+#include "rad/fld.hpp"
+#include "rad/gaussian.hpp"
+#include "sim/machine.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+/// Square-ish topology for np ranks.
+v2d::mpisim::CartTopology topo_for(int np) {
+  int px1 = 1;
+  for (int d = 1; d * d <= np; ++d)
+    if (np % d == 0) px1 = d;
+  return v2d::mpisim::CartTopology(np / px1, px1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace v2d;
+  Options opt;
+  opt.add("sizes", "64,128,256", "comma list of square grid sizes");
+  opt.add("ranks", "1,16", "comma list of rank counts");
+  opt.add("tol", "1e-8", "CG relative tolerance");
+  opt.add("max-iter", "5000", "CG iteration cap");
+  opt.add_flag("tsv", "emit tab-separated values");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("bench_mg");
+    return 1;
+  }
+
+  TableWriter table(
+      "Preconditioner ablation on the FLD diffusion system (CG, Cray "
+      "profile)");
+  table.set_columns({"grid", "Np", "precond", "iters", "build (s)",
+                     "apply (s)", "matvec (s)", "comm (s)", "total (s)"});
+
+  for (const int n : parse_list(opt.get("sizes"))) {
+    for (const int np : parse_list(opt.get("ranks"))) {
+      const grid::Grid2D g(n, n, -1.0, 1.0, -1.0, 1.0);
+      const auto topo = topo_for(np);
+      if (topo.nprx1() > n || topo.nprx2() > n) continue;
+      const grid::Decomposition dec(g, topo);
+
+      rad::OpacitySet opac(1);
+      opac.absorption(0) = rad::OpacityLaw::constant(0.0);
+      opac.scattering(0) = rad::OpacityLaw::constant(10.0);
+      rad::FldConfig fld_cfg;
+      fld_cfg.include_absorption = false;
+      const rad::FldBuilder builder(g, dec, 1, opac, fld_cfg);
+
+      for (const char* kind : {"jacobi", "spai0", "spai", "mg"}) {
+        mpisim::ExecModel em(sim::MachineSpec::a64fx(),
+                             {compiler::cray_2103()}, np);
+        linalg::ExecContext ctx(vla::VectorArch(512), &em);
+
+        // The paper's pulse supplies the field the limiters chew on.
+        linalg::DistVector e(g, dec, 1), e_old(g, dec, 1);
+        rad::GaussianPulse pulse;
+        pulse.d_coeff = 1.0 / 30.0;
+        pulse.t0 = 1.0;
+        pulse.fill(e, 0.0);
+        e_old.copy_from(ctx, e);
+
+        linalg::StencilOperator A(g, dec, 1);
+        linalg::DistVector rhs(g, dec, 1), x(g, dec, 1);
+        builder.build_diffusion(ctx, e, e_old, 0.03, A, rhs);
+        em.reset();  // measure the solve, not the assembly
+
+        auto M = linalg::make_preconditioner(kind, ctx, A);
+        linalg::CgSolver cg(g, dec, 1);
+        linalg::SolveOptions sopt;
+        sopt.rel_tol = opt.get_double("tol");
+        sopt.max_iterations = static_cast<int>(opt.get_int("max-iter"));
+        x.fill(ctx, 0.0);
+        const auto stats = cg.solve(ctx, A, *M, x, rhs, sopt);
+
+        const auto led = em.merged_ledger(0);
+        const double freq = em.cost_model().machine().freq_hz;
+        double build_s = 0.0, apply_s = 0.0, matvec_s = 0.0, comm_s = 0.0;
+        for (const auto& [region, cost] : led.regions()) {
+          const double s = cost.total_cycles / freq;
+          if (region == "precond-build" || region == "mg-build" ||
+              region == "mg-coarse-factor") {
+            build_s += s;
+          } else if (region == "precond" || region.rfind("mg-", 0) == 0) {
+            apply_s += s;
+          } else if (region == "matvec") {
+            matvec_s += s;
+          }
+          comm_s += cost.comm_seconds;
+        }
+        table.add_row({std::to_string(n) + "x" + std::to_string(n),
+                       TableWriter::integer(np),
+                       std::string(kind) + (stats.converged ? "" : " (!)"),
+                       TableWriter::integer(stats.iterations),
+                       TableWriter::num(build_s / np, 4),
+                       TableWriter::num(apply_s / np, 4),
+                       TableWriter::num(matvec_s / np, 4),
+                       TableWriter::num(comm_s / np, 4),
+                       TableWriter::num(em.elapsed(0), 4)});
+      }
+      std::cerr << "  finished " << n << "x" << n << " Np=" << np << "\n";
+    }
+  }
+  std::cout << (opt.get_bool("tsv") ? table.tsv() : table.str());
+  std::cout << "\nSPAI iteration counts grow with resolution; the V-cycle's"
+               "\nstay flat, so mg wins total time once the grid is large"
+               "\nenough for the extra per-application sweeps to pay off.\n";
+  return 0;
+}

@@ -6,6 +6,9 @@
 /// simulated times, the solver statistics, and where the time went.
 ///
 ///   ./quickstart [--nx1 64 --nx2 32 --steps 5 ...]
+///
+/// Try `--precond mg` to swap the SPAI preconditioner for the geometric
+/// multigrid V-cycle (tune with --mg-smoother, --mg-nu-pre, ...).
 
 #include <iostream>
 

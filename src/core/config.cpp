@@ -22,7 +22,18 @@ void RunConfig::register_options(Options& opt) {
   opt.add("tol", "1e-8", "solver relative tolerance");
   opt.add("max-iter", "1000", "solver iteration cap");
   opt.add("ganged", "1", "use ganged reductions (0|1)");
-  opt.add("precond", "spai0", "preconditioner: identity|jacobi|spai0|spai");
+  opt.add("precond", "spai0",
+          "preconditioner: identity|jacobi|spai0|spai|mg");
+  opt.add("mg-coarse-size", "8", "mg: stop coarsening at this grid size");
+  opt.add("mg-levels", "12", "mg: maximum hierarchy depth");
+  opt.add("mg-nu-pre", "2", "mg: pre-smoothing steps");
+  opt.add("mg-nu-post", "2", "mg: post-smoothing steps");
+  opt.add("mg-smoother", "jacobi", "mg smoother: jacobi|chebyshev");
+  opt.add("mg-omega", "0.8", "mg: weighted-Jacobi damping");
+  opt.add("mg-cheb-boost", "4.0",
+          "mg: Chebyshev smoothing range [lambda_max/boost, lambda_max]");
+  opt.add("mg-max-direct-zones", "16384",
+          "mg: error out if the coarsest level exceeds this zone count");
   opt.add("compilers", "cray",
           "comma list of profiles: gnu,fujitsu,cray,cray-noopt,clang");
   opt.add("vector-bits", "512", "SVE vector length (128..2048)");
@@ -48,6 +59,14 @@ RunConfig RunConfig::from_options(const Options& opt) {
   c.max_iterations = static_cast<int>(opt.get_int("max-iter"));
   c.ganged = opt.get_bool("ganged");
   c.preconditioner = opt.get("precond");
+  c.mg_coarse_size = static_cast<int>(opt.get_int("mg-coarse-size"));
+  c.mg_levels = static_cast<int>(opt.get_int("mg-levels"));
+  c.mg_nu_pre = static_cast<int>(opt.get_int("mg-nu-pre"));
+  c.mg_nu_post = static_cast<int>(opt.get_int("mg-nu-post"));
+  c.mg_smoother = opt.get("mg-smoother");
+  c.mg_omega = opt.get_double("mg-omega");
+  c.mg_cheb_boost = opt.get_double("mg-cheb-boost");
+  c.mg_max_direct_zones = opt.get_int("mg-max-direct-zones");
   c.compilers.clear();
   std::stringstream ss(opt.get("compilers"));
   std::string item;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/mg/options.hpp"
 #include "rad/limiter.hpp"
 #include "support/options.hpp"
 
@@ -33,6 +34,16 @@ struct RunConfig {
   bool ganged = true;
   std::string preconditioner = "spai0";
 
+  // --- multigrid preconditioner (used when preconditioner == "mg") ---
+  int mg_coarse_size = 8;
+  int mg_levels = 12;
+  int mg_nu_pre = 2;
+  int mg_nu_post = 2;
+  std::string mg_smoother = "jacobi";
+  double mg_omega = 0.8;
+  double mg_cheb_boost = 4.0;
+  long mg_max_direct_zones = 16384;
+
   // --- simulated platform ---
   std::vector<std::string> compilers = {"cray"};  ///< profile short names
   unsigned vector_bits = 512;
@@ -42,6 +53,20 @@ struct RunConfig {
   int checkpoint_every = 0;     ///< steps between checkpoints (0 = end only)
 
   int nranks() const { return nprx1 * nprx2; }
+
+  /// The multigrid knobs bundled for make_preconditioner / RadiationStepper.
+  linalg::mg::MgOptions mg_options() const {
+    linalg::mg::MgOptions o;
+    o.coarse_size = mg_coarse_size;
+    o.max_levels = mg_levels;
+    o.nu_pre = mg_nu_pre;
+    o.nu_post = mg_nu_post;
+    o.smoother = mg_smoother;
+    o.jacobi_omega = mg_omega;
+    o.cheb_boost = mg_cheb_boost;
+    o.max_direct_zones = mg_max_direct_zones;
+    return o;
+  }
 
   /// Register every knob on an Options parser (shared by benches/examples).
   static void register_options(Options& opt);

@@ -52,7 +52,8 @@ Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
   opt.max_iterations = cfg.max_iterations;
   opt.ganged = cfg.ganged;
   stepper_ = std::make_unique<rad::RadiationStepper>(
-      grid_, dec_, std::move(builder), opt, cfg.preconditioner);
+      grid_, dec_, std::move(builder), opt, cfg.preconditioner,
+      cfg.mg_options());
 
   e_ = std::make_unique<linalg::DistVector>(grid_, dec_, cfg.ns);
   // The paper's test problem: 2-D Gaussian pulse of radiation.  D here is

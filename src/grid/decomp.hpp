@@ -43,6 +43,30 @@ public:
     }
   }
 
+  /// Explicit-extent decomposition: the caller supplies one tile per rank.
+  /// Used by the multigrid hierarchy, whose coarse tiles must stay aligned
+  /// with the parents of the fine tiles (the default `split` would shift
+  /// tile boundaries on uneven coarse grids).  The extents must tile the
+  /// grid exactly.
+  Decomposition(const Grid2D& grid, mpisim::CartTopology topo,
+                std::vector<TileExtent> extents)
+      : topo_(topo),
+        nx1_(grid.nx1()),
+        nx2_(grid.nx2()),
+        extents_(std::move(extents)) {
+    V2D_REQUIRE(static_cast<int>(extents_.size()) == topo.size(),
+                "need exactly one tile extent per rank");
+    std::int64_t zones = 0;
+    for (const auto& e : extents_) {
+      V2D_REQUIRE(e.ni >= 1 && e.nj >= 1, "tile extents must be >= 1");
+      V2D_REQUIRE(e.i0 >= 0 && e.j0 >= 0 && e.i0 + e.ni <= nx1_ &&
+                      e.j0 + e.nj <= nx2_,
+                  "tile extent out of grid range");
+      zones += static_cast<std::int64_t>(e.ni) * e.nj;
+    }
+    V2D_REQUIRE(zones == grid.zones(), "tile extents must tile the grid");
+  }
+
   const mpisim::CartTopology& topology() const { return topo_; }
   int nranks() const { return topo_.size(); }
   const TileExtent& extent(int rank) const {

@@ -67,6 +67,37 @@ std::uint64_t DistField::tile_bytes(int rank) const {
   return data_[static_cast<std::size_t>(rank)].size() * sizeof(double);
 }
 
+std::uint64_t DistField::copy_halo_strip(int rank, int nb, Dir dir, int lo,
+                                         int hi) {
+  const TileExtent& e = dec_->extent(rank);
+  const TileExtent& en = dec_->extent(nb);
+  for (int s = 0; s < ns_; ++s) {
+    TileView mine = view(rank, s);
+    TileView theirs = view(nb, s);
+    for (int g = 0; g < ng_; ++g) {
+      switch (dir) {
+        case Dir::West:
+          for (int lj = lo; lj < hi; ++lj)
+            mine(-1 - g, lj) = theirs(en.ni - 1 - g, lj);
+          break;
+        case Dir::East:
+          for (int lj = lo; lj < hi; ++lj)
+            mine(e.ni + g, lj) = theirs(g, lj);
+          break;
+        case Dir::South:
+          for (int li = lo; li < hi; ++li)
+            mine(li, -1 - g) = theirs(li, en.nj - 1 - g);
+          break;
+        case Dir::North:
+          for (int li = lo; li < hi; ++li)
+            mine(li, e.nj + g) = theirs(li, g);
+          break;
+      }
+    }
+  }
+  return static_cast<std::uint64_t>(hi - lo) * ns_ * ng_ * sizeof(double);
+}
+
 std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
   std::vector<mpisim::Transfer> transfers;
   const auto& topo = dec_->topology();
@@ -78,40 +109,43 @@ std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
       const auto dir = static_cast<Dir>(d);
       const auto nb = topo.neighbor(r, dir);
       if (!nb) continue;
-      const TileExtent& en = dec_->extent(*nb);
-      std::uint64_t bytes = 0;
-      for (int s = 0; s < ns_; ++s) {
-        TileView mine = view(r, s);
-        TileView theirs = view(*nb, s);
-        for (int g = 0; g < ng_; ++g) {
-          switch (dir) {
-            case Dir::West:
-              for (int lj = 0; lj < e.nj; ++lj)
-                mine(-1 - g, lj) = theirs(en.ni - 1 - g, lj);
-              bytes += static_cast<std::uint64_t>(e.nj) * sizeof(double);
-              break;
-            case Dir::East:
-              for (int lj = 0; lj < e.nj; ++lj)
-                mine(e.ni + g, lj) = theirs(g, lj);
-              bytes += static_cast<std::uint64_t>(e.nj) * sizeof(double);
-              break;
-            case Dir::South:
-              for (int li = 0; li < e.ni; ++li)
-                mine(li, -1 - g) = theirs(li, en.nj - 1 - g);
-              bytes += static_cast<std::uint64_t>(e.ni) * sizeof(double);
-              break;
-            case Dir::North:
-              for (int li = 0; li < e.ni; ++li)
-                mine(li, e.nj + g) = theirs(li, g);
-              bytes += static_cast<std::uint64_t>(e.ni) * sizeof(double);
-              break;
-          }
-        }
-      }
+      const bool x1_dir = dir == Dir::West || dir == Dir::East;
+      const std::uint64_t bytes =
+          copy_halo_strip(r, *nb, dir, 0, x1_dir ? e.nj : e.ni);
       // West/East halos are grid columns (stride = row length); they pay a
       // pack/unpack penalty in the cost model.
-      const bool strided = dir == Dir::West || dir == Dir::East;
-      transfers.push_back(mpisim::Transfer{*nb, r, bytes, strided});
+      transfers.push_back(mpisim::Transfer{*nb, r, bytes, x1_dir});
+    }
+  }
+  return transfers;
+}
+
+std::vector<mpisim::Transfer> DistField::exchange_ghosts_full() {
+  std::vector<mpisim::Transfer> transfers;
+  const auto& topo = dec_->topology();
+  // Phase 1: x1-direction columns (interior rows only), all ranks.
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (const auto dir : {Dir::West, Dir::East}) {
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      const std::uint64_t bytes = copy_halo_strip(r, *nb, dir, 0, e.nj);
+      transfers.push_back(mpisim::Transfer{*nb, r, bytes, /*strided=*/true});
+    }
+  }
+  // Phase 2: x2-direction rows over the *padded* width.  The neighbour's
+  // interface rows already carry their x1 ghosts from phase 1, so the
+  // corner values ride along.  (At the domain edge the padded strip copies
+  // whatever the neighbour's physical-boundary ghosts hold; apply_bc()
+  // overwrites those corners afterwards.)
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (const auto dir : {Dir::South, Dir::North}) {
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      const std::uint64_t bytes =
+          copy_halo_strip(r, *nb, dir, -ng_, e.ni + ng_);
+      transfers.push_back(mpisim::Transfer{*nb, r, bytes, /*strided=*/false});
     }
   }
   return transfers;
@@ -127,11 +161,16 @@ void DistField::apply_bc(BcKind bc) {
     const bool at_e = e.i0 + e.ni == gnx1;
     const bool at_s = e.j0 == 0;
     const bool at_n = e.j0 + e.nj == gnx2;
+    // Dirichlet/Neumann fills cover the padded range so domain-edge corner
+    // ghosts get defined values (the x2 rules run last and source from the
+    // already-filled x1 ghosts).  Periodic keeps the interior range: its
+    // wrap-around lookup is only defined for in-domain rows/columns.
+    const int pad = bc == BcKind::Periodic ? 0 : ng_;
     for (int s = 0; s < ns_; ++s) {
       TileView v = view(r, s);
       for (int g = 0; g < ng_; ++g) {
         if (at_w) {
-          for (int lj = 0; lj < e.nj; ++lj) {
+          for (int lj = -pad; lj < e.nj + pad; ++lj) {
             switch (bc) {
               case BcKind::Dirichlet0: v(-1 - g, lj) = 0.0; break;
               case BcKind::Neumann0: v(-1 - g, lj) = v(g, lj); break;
@@ -142,7 +181,7 @@ void DistField::apply_bc(BcKind bc) {
           }
         }
         if (at_e) {
-          for (int lj = 0; lj < e.nj; ++lj) {
+          for (int lj = -pad; lj < e.nj + pad; ++lj) {
             switch (bc) {
               case BcKind::Dirichlet0: v(e.ni + g, lj) = 0.0; break;
               case BcKind::Neumann0: v(e.ni + g, lj) = v(e.ni - 1 - g, lj); break;
@@ -153,7 +192,7 @@ void DistField::apply_bc(BcKind bc) {
           }
         }
         if (at_s) {
-          for (int li = 0; li < e.ni; ++li) {
+          for (int li = -pad; li < e.ni + pad; ++li) {
             switch (bc) {
               case BcKind::Dirichlet0: v(li, -1 - g) = 0.0; break;
               case BcKind::Neumann0: v(li, -1 - g) = v(li, g); break;
@@ -164,7 +203,7 @@ void DistField::apply_bc(BcKind bc) {
           }
         }
         if (at_n) {
-          for (int li = 0; li < e.ni; ++li) {
+          for (int li = -pad; li < e.ni + pad; ++li) {
             switch (bc) {
               case BcKind::Dirichlet0: v(li, e.nj + g) = 0.0; break;
               case BcKind::Neumann0: v(li, e.nj + g) = v(li, e.nj - 1 - g); break;

@@ -76,6 +76,16 @@ public:
   /// ExecModel::exchange().
   std::vector<mpisim::Transfer> exchange_ghosts();
 
+  /// Ghost exchange that also fills the diagonal (corner) ghosts, via the
+  /// standard two-phase trick: first all x1-direction columns, then the
+  /// x2-direction rows *including* the already-filled ghost columns, so
+  /// corner values arrive through the face neighbours without any diagonal
+  /// messages.  Needed by operators whose stencil reaches diagonally — the
+  /// multigrid bilinear prolongation — while the five-point kernels keep
+  /// using the cheaper exchange_ghosts().  Domain-boundary corners are
+  /// left to apply_bc().
+  std::vector<mpisim::Transfer> exchange_ghosts_full();
+
   /// Fill physical-boundary ghosts.
   void apply_bc(BcKind bc);
 
@@ -87,6 +97,12 @@ private:
   double* tile_origin(int rank, int s);
   const double* tile_origin(int rank, int s) const;
   std::ptrdiff_t stride(int rank) const;
+
+  /// Copy `rank`'s ghost strip facing `dir` from neighbour `nb`, covering
+  /// transverse local indices [lo, hi), all species and ghost layers;
+  /// returns the bytes copied (the transfer payload).
+  std::uint64_t copy_halo_strip(int rank, int nb, mpisim::Dir dir, int lo,
+                                int hi);
 
   const Grid2D* grid_;
   const Decomposition* dec_;

@@ -106,4 +106,64 @@ void BandedMatrix::write_pbm(std::ostream& os, std::int64_t rows,
   }
 }
 
+// --- BandedLU -------------------------------------------------------------------
+
+double& BandedLU::lu(std::int64_t row, std::int64_t col) {
+  return data_[static_cast<std::size_t>(row * (kl_ + ku_ + 1) +
+                                        (col - row + kl_))];
+}
+
+double BandedLU::lu(std::int64_t row, std::int64_t col) const {
+  return const_cast<BandedLU*>(this)->lu(row, col);
+}
+
+BandedLU::BandedLU(const BandedMatrix& A) : n_(A.size()), kl_(0), ku_(0) {
+  for (const auto off : A.offsets()) {
+    if (off < 0) kl_ = std::max(kl_, -off);
+    if (off > 0) ku_ = std::max(ku_, off);
+  }
+  data_.assign(static_cast<std::size_t>(n_ * (kl_ + ku_ + 1)), 0.0);
+  for (std::int64_t row = 0; row < n_; ++row) {
+    for (const auto off : A.offsets()) {
+      const std::int64_t col = row + off;
+      if (col >= 0 && col < n_) lu(row, col) = A.get(row, off);
+    }
+  }
+  // Doolittle elimination inside the band envelope.
+  for (std::int64_t k = 0; k < n_; ++k) {
+    const double pivot = lu(k, k);
+    V2D_REQUIRE(pivot != 0.0, "banded LU: zero pivot (matrix not factorable "
+                              "without pivoting)");
+    const std::int64_t imax = std::min(n_ - 1, k + kl_);
+    const std::int64_t jmax = std::min(n_ - 1, k + ku_);
+    for (std::int64_t i = k + 1; i <= imax; ++i) {
+      const double l = lu(i, k) / pivot;
+      lu(i, k) = l;
+      for (std::int64_t j = k + 1; j <= jmax; ++j) lu(i, j) -= l * lu(k, j);
+      factor_flops_ += 1 + 2 * static_cast<std::uint64_t>(jmax - k);
+    }
+  }
+}
+
+void BandedLU::solve(std::span<double> rhs) const {
+  V2D_REQUIRE(static_cast<std::int64_t>(rhs.size()) == n_,
+              "rhs length mismatch");
+  // Forward: L·z = rhs (unit lower triangle).
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double v = rhs[static_cast<std::size_t>(i)];
+    const std::int64_t jmin = std::max<std::int64_t>(0, i - kl_);
+    for (std::int64_t j = jmin; j < i; ++j)
+      v -= lu(i, j) * rhs[static_cast<std::size_t>(j)];
+    rhs[static_cast<std::size_t>(i)] = v;
+  }
+  // Backward: U·x = z.
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    double v = rhs[static_cast<std::size_t>(i)];
+    const std::int64_t jmax = std::min(n_ - 1, i + ku_);
+    for (std::int64_t j = i + 1; j <= jmax; ++j)
+      v -= lu(i, j) * rhs[static_cast<std::size_t>(j)];
+    rhs[static_cast<std::size_t>(i)] = v / lu(i, i);
+  }
+}
+
 }  // namespace v2d::linalg

@@ -52,4 +52,37 @@ private:
   std::vector<std::vector<double>> bands_;  // bands_[k][row]
 };
 
+/// Banded LU factorization (no pivoting) with dense-within-bandwidth
+/// storage: everything between the outermost sub- and super-diagonal of
+/// the source matrix is kept, since elimination fills that envelope in.
+/// No pivoting is safe for the diagonally dominant operators this class
+/// serves — the multigrid coarse-level solve.  Factor once, solve many.
+class BandedLU {
+public:
+  explicit BandedLU(const BandedMatrix& A);
+
+  std::int64_t size() const { return n_; }
+  std::int64_t lower_bandwidth() const { return kl_; }
+  std::int64_t upper_bandwidth() const { return ku_; }
+
+  /// In-place solve A·x = rhs (rhs overwritten with x).
+  void solve(std::span<double> rhs) const;
+
+  /// Flop counts for cost-model pricing of the factorization / one solve.
+  std::uint64_t factor_flops() const { return factor_flops_; }
+  std::uint64_t solve_flops() const {
+    return 2ull * static_cast<std::uint64_t>(n_) *
+           static_cast<std::uint64_t>(kl_ + ku_);
+  }
+
+private:
+  double& lu(std::int64_t row, std::int64_t col);
+  double lu(std::int64_t row, std::int64_t col) const;
+
+  std::int64_t n_;
+  std::int64_t kl_, ku_;
+  std::uint64_t factor_flops_ = 0;
+  std::vector<double> data_;  // row-major, width kl_ + ku_ + 1
+};
+
 }  // namespace v2d::linalg

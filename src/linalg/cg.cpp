@@ -41,8 +41,12 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
     A.apply(ctx, p_, q_);
     const double pq = DistVector::dot(ctx, p_, q_);
     ++stats.global_reductions;
-    if (!(std::fabs(pq) > 0.0)) {
-      stats.stop_reason = "p.Ap breakdown";
+    // On an SPD operator p·Ap > 0 for p ≠ 0.  A negative (or NaN) value
+    // means the operator is not positive definite — a distinct failure
+    // from the exact-breakdown p·Ap == 0, and worth reporting as such
+    // because it indicates a badly assembled system, not bad luck.
+    if (!(pq > 0.0)) {
+      stats.stop_reason = pq == 0.0 ? "p.Ap breakdown" : "indefinite operator";
       break;
     }
     const double alpha = rz / pq;

@@ -1,0 +1,151 @@
+#include "linalg/mg/smoother.hpp"
+
+#include "support/error.hpp"
+#include "vla/loops.hpp"
+
+namespace v2d::linalg::mg {
+
+using compiler::KernelFamily;
+
+namespace {
+
+/// x ← x + ω·dinv ⊙ r   (the weighted-Jacobi correction, fused).
+void diag_correct(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
+                  DistVector& x, double omega) {
+  const auto& dec = x.field().decomp();
+  for (int rank = 0; rank < dec.nranks(); ++rank) {
+    const grid::TileExtent& e = dec.extent(rank);
+    const auto n = static_cast<std::uint64_t>(e.ni);
+    for (int s = 0; s < x.ns(); ++s) {
+      grid::TileView dv = dinv.view(rank, s);
+      grid::TileView rv = r.field().view(rank, s);
+      grid::TileView xv = x.field().view(rank, s);
+      const vla::VReg w = ctx.vctx.dup(omega);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        const double* dr = dv.row(lj);
+        const double* rr = rv.row(lj);
+        double* xr = xv.row(lj);
+        vla::strip_mine(ctx.vctx, n,
+                        [&](std::uint64_t i, const vla::Predicate& p) {
+                          const vla::VReg t = ctx.vctx.mul(
+                              p, ctx.vctx.ld1(p, dr + i),
+                              ctx.vctx.ld1(p, rr + i));
+                          ctx.vctx.st1(p, xr + i,
+                                       ctx.vctx.fma(p, w, t,
+                                                    ctx.vctx.ld1(p, xr + i)));
+                        });
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
+    ctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
+               x.working_set(rank, 3));
+  }
+}
+
+/// z ← ω·dinv ⊙ r   (scaled diagonal application).
+void diag_scale(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
+                DistVector& z, double omega) {
+  const auto& dec = z.field().decomp();
+  for (int rank = 0; rank < dec.nranks(); ++rank) {
+    const grid::TileExtent& e = dec.extent(rank);
+    const auto n = static_cast<std::uint64_t>(e.ni);
+    for (int s = 0; s < z.ns(); ++s) {
+      grid::TileView dv = dinv.view(rank, s);
+      grid::TileView rv = r.field().view(rank, s);
+      grid::TileView zv = z.field().view(rank, s);
+      const vla::VReg w = ctx.vctx.dup(omega);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        const double* dr = dv.row(lj);
+        const double* rr = rv.row(lj);
+        double* zr = zv.row(lj);
+        vla::strip_mine(ctx.vctx, n,
+                        [&](std::uint64_t i, const vla::Predicate& p) {
+                          const vla::VReg t = ctx.vctx.mul(
+                              p, ctx.vctx.ld1(p, dr + i),
+                              ctx.vctx.ld1(p, rr + i));
+                          ctx.vctx.st1(p, zr + i, ctx.vctx.mul(p, w, t));
+                        });
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * z.ns();
+    ctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
+               z.working_set(rank, 3));
+  }
+}
+
+/// r ← b − A·x, attributed to the smoother.
+void residual(ExecContext& ctx, MgLevel& lvl, DistVector& x, DistVector& b,
+              DistVector& r) {
+  lvl.op->apply_as(ctx, x, r, KernelFamily::Precond, "mg-smooth");
+  r.assign_sub(ctx, b, r);
+}
+
+}  // namespace
+
+void WeightedJacobiSmoother::smooth(ExecContext& ctx, MgLevel& lvl,
+                                    DistVector& x, DistVector& b, int steps,
+                                    bool zero_guess) const {
+  // The zero_guess contract holds even for zero steps: x must leave this
+  // call zero-initialized or the V-cycle becomes stateful across
+  // applications (fatal inside a Krylov method).
+  if (zero_guess && steps < 1) {
+    x.fill(ctx, 0.0);
+    return;
+  }
+  for (int step = 0; step < steps; ++step) {
+    if (step == 0 && zero_guess) {
+      // x₀ = 0 makes the first step a pure diagonal sweep.
+      diag_scale(ctx, lvl.dinv, b, x, omega_);
+      continue;
+    }
+    residual(ctx, lvl, x, b, lvl.r);
+    diag_correct(ctx, lvl.dinv, lvl.r, x, omega_);
+  }
+}
+
+void ChebyshevSmoother::smooth(ExecContext& ctx, MgLevel& lvl, DistVector& x,
+                               DistVector& b, int steps,
+                               bool zero_guess) const {
+  if (steps < 1) {
+    // Same zero_guess contract as the Jacobi smoother.
+    if (zero_guess) x.fill(ctx, 0.0);
+    return;
+  }
+  const double lmax = lvl.lambda_max;
+  const double lmin = lmax / boost_;
+  const double theta = 0.5 * (lmax + lmin);
+  const double delta = 0.5 * (lmax - lmin);
+  const double sigma = theta / delta;
+  double rho = 1.0 / sigma;
+
+  // First step: p = D⁻¹r/θ, x += p.
+  if (zero_guess) {
+    diag_scale(ctx, lvl.dinv, b, lvl.p, 1.0 / theta);
+    x.copy_from(ctx, lvl.p);
+  } else {
+    residual(ctx, lvl, x, b, lvl.r);
+    diag_scale(ctx, lvl.dinv, lvl.r, lvl.p, 1.0 / theta);
+    x.daxpy(ctx, 1.0, lvl.p);
+  }
+  // Chebyshev recurrence on the direction vector p.
+  for (int step = 1; step < steps; ++step) {
+    residual(ctx, lvl, x, b, lvl.r);
+    diag_scale(ctx, lvl.dinv, lvl.r, lvl.z, 1.0);
+    const double rho_new = 1.0 / (2.0 * sigma - rho);
+    lvl.p.dscal(ctx, 0.0, -(rho_new * rho));      // p ← ρ'·ρ·p
+    lvl.p.daxpy(ctx, 2.0 * rho_new / delta, lvl.z);
+    x.daxpy(ctx, 1.0, lvl.p);
+    rho = rho_new;
+  }
+}
+
+std::unique_ptr<Smoother> make_smoother(const MgOptions& opt) {
+  if (opt.smoother == "jacobi")
+    return std::make_unique<WeightedJacobiSmoother>(opt.jacobi_omega);
+  if (opt.smoother == "chebyshev")
+    return std::make_unique<ChebyshevSmoother>(opt.cheb_boost);
+  throw Error("unknown multigrid smoother '" + opt.smoother +
+              "' (expected jacobi|chebyshev)");
+}
+
+}  // namespace v2d::linalg::mg

@@ -1,0 +1,68 @@
+#pragma once
+/// \file smoother.hpp
+/// \brief Multigrid smoothers: weighted Jacobi and Chebyshev.
+///
+/// Both smoothers are pointwise (no triangular solves), matching the V2D
+/// philosophy that every solver component must vectorize as a stencil or
+/// streaming sweep — the same property the paper's SPAI preconditioner
+/// was chosen for.  Both are symmetric in the D-inner product, so a
+/// V-cycle with equal pre-/post-smoothing remains a valid CG
+/// preconditioner:
+///
+///   jacobi     x ← x + ω·D⁻¹·(b − A·x), ω default 0.8
+///   chebyshev  degree-k Chebyshev polynomial of D⁻¹A targeted at the
+///              upper spectrum [λ_max/boost, λ_max], λ_max from the
+///              Gershgorin bound computed during hierarchy setup.
+///
+/// The matvec inside each step is the level operator's stencil sweep,
+/// priced under KernelFamily::Precond so preconditioning cost stays
+/// separable from the Krylov matvec in the ledgers.
+
+#include <memory>
+#include <string>
+
+#include "linalg/mg/hierarchy.hpp"
+
+namespace v2d::linalg::mg {
+
+class Smoother {
+public:
+  virtual ~Smoother() = default;
+
+  /// Run `steps` smoothing iterations on A·x = b at level `lvl`.  When
+  /// `zero_guess` is set, x is treated as all-zero (its contents are
+  /// overwritten; the first half-step saves one operator application).
+  virtual void smooth(ExecContext& ctx, MgLevel& lvl, DistVector& x,
+                      DistVector& b, int steps, bool zero_guess) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class WeightedJacobiSmoother final : public Smoother {
+public:
+  explicit WeightedJacobiSmoother(double omega) : omega_(omega) {}
+  void smooth(ExecContext& ctx, MgLevel& lvl, DistVector& x, DistVector& b,
+              int steps, bool zero_guess) const override;
+  std::string name() const override { return "jacobi"; }
+
+private:
+  double omega_;
+};
+
+class ChebyshevSmoother final : public Smoother {
+public:
+  /// `steps` in smooth() is the polynomial degree (one operator
+  /// application per degree, like one per Jacobi step).
+  explicit ChebyshevSmoother(double boost) : boost_(boost) {}
+  void smooth(ExecContext& ctx, MgLevel& lvl, DistVector& x, DistVector& b,
+              int steps, bool zero_guess) const override;
+  std::string name() const override { return "chebyshev"; }
+
+private:
+  double boost_;
+};
+
+/// Factory from the hierarchy options ("jacobi" | "chebyshev").
+std::unique_ptr<Smoother> make_smoother(const MgOptions& opt);
+
+}  // namespace v2d::linalg::mg

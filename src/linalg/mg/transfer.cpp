@@ -1,0 +1,181 @@
+#include "linalg/mg/transfer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/error.hpp"
+#include "vla/loops.hpp"
+
+namespace v2d::linalg::mg {
+
+using compiler::KernelFamily;
+
+namespace {
+
+/// Gather-index tables shared by every row sweep of one transfer call.
+/// Indices are tile-local (relative to a row's li = 0 pointer); negative
+/// entries and one-past-the-end read the exchanged ghost column.
+struct IndexTables {
+  std::vector<std::int64_t> fm1, f0, f1, f2;  // restriction: 2c−1 … 2c+2
+  std::vector<std::int64_t> near, far;        // prolongation: parent / parity
+};
+
+IndexTables build_tables(int coarse_ni, int fine_ni) {
+  IndexTables t;
+  t.fm1.resize(static_cast<std::size_t>(coarse_ni));
+  t.f0.resize(static_cast<std::size_t>(coarse_ni));
+  t.f1.resize(static_cast<std::size_t>(coarse_ni));
+  t.f2.resize(static_cast<std::size_t>(coarse_ni));
+  for (int c = 0; c < coarse_ni; ++c) {
+    t.fm1[static_cast<std::size_t>(c)] = 2 * c - 1;
+    t.f0[static_cast<std::size_t>(c)] = 2 * c;
+    t.f1[static_cast<std::size_t>(c)] = 2 * c + 1;
+    t.f2[static_cast<std::size_t>(c)] = 2 * c + 2;
+  }
+  t.near.resize(static_cast<std::size_t>(fine_ni));
+  t.far.resize(static_cast<std::size_t>(fine_ni));
+  for (int f = 0; f < fine_ni; ++f) {
+    const int parent = f / 2;
+    t.near[static_cast<std::size_t>(f)] = parent;
+    t.far[static_cast<std::size_t>(f)] = parent + ((f & 1) ? 1 : -1);
+  }
+  return t;
+}
+
+void check_pair(const DistVector& fine, const DistVector& coarse) {
+  V2D_REQUIRE(fine.ns() == coarse.ns(), "species count mismatch");
+  V2D_REQUIRE(fine.field().grid().nx1() == 2 * coarse.field().grid().nx1() &&
+                  fine.field().grid().nx2() == 2 * coarse.field().grid().nx2(),
+              "transfer levels must differ by a factor of 2");
+  V2D_REQUIRE(fine.nranks() == coarse.nranks(),
+              "transfer levels must share the rank layout");
+}
+
+}  // namespace
+
+void restrict_full_weighting(ExecContext& ctx, DistVector& fine,
+                             DistVector& coarse) {
+  check_pair(fine, coarse);
+  grid::DistField& ff = fine.field();
+  const auto transfers = ff.exchange_ghosts_full();
+  ff.apply_bc(grid::BcKind::Dirichlet0);  // zero extension, matching P
+  ctx.exchange(transfers, "mpi_halo");
+
+  const auto& cdec = coarse.field().decomp();
+  const auto& fdec = ff.decomp();
+  int max_cni = 0, max_fni = 0;
+  for (int r = 0; r < cdec.nranks(); ++r) {
+    max_cni = std::max(max_cni, cdec.extent(r).ni);
+    max_fni = std::max(max_fni, fdec.extent(r).ni);
+  }
+  const IndexTables tab = build_tables(max_cni, max_fni);
+
+  // Separable full-weighting factors: (1/4)·w_i·w_j with w = (1/4, 3/4).
+  const double wj[4] = {0.25, 0.75, 0.75, 0.25};
+  for (int r = 0; r < cdec.nranks(); ++r) {
+    const grid::TileExtent& ce = cdec.extent(r);
+    const grid::TileExtent& fe = fdec.extent(r);
+    V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
+                    fe.ni == 2 * ce.ni && fe.nj == 2 * ce.nj,
+                "coarse tiles must be parent-aligned");
+    const auto n = static_cast<std::uint64_t>(ce.ni);
+    for (int s = 0; s < fine.ns(); ++s) {
+      grid::TileView fv = ff.view(r, s);
+      grid::TileView cv = coarse.field().view(r, s);
+      const vla::VReg vq = ctx.vctx.dup(0.25);
+      const vla::VReg vt = ctx.vctx.dup(0.75);
+      for (int lcj = 0; lcj < ce.nj; ++lcj) {
+        double* crow = cv.row(lcj);
+        vla::strip_mine(ctx.vctx, n, [&](std::uint64_t i,
+                                         const vla::Predicate& p) {
+          vla::VReg acc = ctx.vctx.dup(0.0);
+          for (int dj = 0; dj < 4; ++dj) {
+            const double* frow = fv.row(2 * lcj - 1 + dj);
+            const vla::VReg a = ctx.vctx.ld1_gather(
+                p, frow, std::span<const std::int64_t>(tab.fm1).subspan(i));
+            const vla::VReg b = ctx.vctx.ld1_gather(
+                p, frow, std::span<const std::int64_t>(tab.f0).subspan(i));
+            const vla::VReg c = ctx.vctx.ld1_gather(
+                p, frow, std::span<const std::int64_t>(tab.f1).subspan(i));
+            const vla::VReg d = ctx.vctx.ld1_gather(
+                p, frow, std::span<const std::int64_t>(tab.f2).subspan(i));
+            // Row value: 1/4·a + 3/4·b + 3/4·c + 1/4·d.
+            vla::VReg row = ctx.vctx.mul(p, vq, a);
+            row = ctx.vctx.fma(p, vt, b, row);
+            row = ctx.vctx.fma(p, vt, c, row);
+            row = ctx.vctx.fma(p, vq, d, row);
+            const vla::VReg w = ctx.vctx.dup(0.25 * wj[dj]);
+            acc = ctx.vctx.fma_merge(p, w, row, acc);
+          }
+          ctx.vctx.st1(p, crow + i, acc);
+        });
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(ce.ni) * ce.nj * fine.ns();
+    ctx.commit(r, KernelFamily::Precond, "mg-restrict", elements,
+               fine.working_set(r, 1) + coarse.working_set(r, 1));
+  }
+}
+
+void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
+                          DistVector& fine) {
+  check_pair(fine, coarse);
+  grid::DistField& cf = coarse.field();
+  // Bilinear interpolation reaches diagonally: corner ghosts required.
+  const auto transfers = cf.exchange_ghosts_full();
+  cf.apply_bc(grid::BcKind::Dirichlet0);  // zero extension, matching R
+  ctx.exchange(transfers, "mpi_halo");
+
+  const auto& cdec = cf.decomp();
+  const auto& fdec = fine.field().decomp();
+  int max_cni = 0, max_fni = 0;
+  for (int r = 0; r < cdec.nranks(); ++r) {
+    max_cni = std::max(max_cni, cdec.extent(r).ni);
+    max_fni = std::max(max_fni, fdec.extent(r).ni);
+  }
+  const IndexTables tab = build_tables(max_cni, max_fni);
+
+  for (int r = 0; r < fdec.nranks(); ++r) {
+    const grid::TileExtent& fe = fdec.extent(r);
+    const grid::TileExtent& ce = cdec.extent(r);
+    V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
+                    fe.ni == 2 * ce.ni && fe.nj == 2 * ce.nj,
+                "coarse tiles must be parent-aligned");
+    const auto n = static_cast<std::uint64_t>(fe.ni);
+    for (int s = 0; s < fine.ns(); ++s) {
+      grid::TileView cv = cf.view(r, s);
+      grid::TileView fv = fine.field().view(r, s);
+      const vla::VReg vq = ctx.vctx.dup(0.25);
+      const vla::VReg vt = ctx.vctx.dup(0.75);
+      for (int lfj = 0; lfj < fe.nj; ++lfj) {
+        const int cj_near = lfj / 2;
+        const int cj_far = cj_near + ((lfj & 1) ? 1 : -1);
+        const double* cn = cv.row(cj_near);
+        const double* cfar = cv.row(cj_far);
+        double* frow = fv.row(lfj);
+        vla::strip_mine(ctx.vctx, n, [&](std::uint64_t i,
+                                         const vla::Predicate& p) {
+          const auto near =
+              std::span<const std::int64_t>(tab.near).subspan(i);
+          const auto far = std::span<const std::int64_t>(tab.far).subspan(i);
+          // 1-D interpolation on each of the two coarse rows …
+          vla::VReg rn = ctx.vctx.mul(p, vt, ctx.vctx.ld1_gather(p, cn, near));
+          rn = ctx.vctx.fma(p, vq, ctx.vctx.ld1_gather(p, cn, far), rn);
+          vla::VReg rf =
+              ctx.vctx.mul(p, vt, ctx.vctx.ld1_gather(p, cfar, near));
+          rf = ctx.vctx.fma(p, vq, ctx.vctx.ld1_gather(p, cfar, far), rf);
+          // … then in j, and accumulate into the fine row.
+          vla::VReg y = ctx.vctx.ld1(p, frow + i);
+          y = ctx.vctx.fma(p, vt, rn, y);
+          y = ctx.vctx.fma(p, vq, rf, y);
+          ctx.vctx.st1(p, frow + i, y);
+        });
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(fe.ni) * fe.nj * fine.ns();
+    ctx.commit(r, KernelFamily::Precond, "mg-prolong", elements,
+               fine.working_set(r, 2) + coarse.working_set(r, 1));
+  }
+}
+
+}  // namespace v2d::linalg::mg

@@ -1,0 +1,41 @@
+#pragma once
+/// \file transfer.hpp
+/// \brief Inter-grid transfer kernels of the geometric multigrid hierarchy.
+///
+/// Cell-centred transfers between a fine level and its factor-2 coarse
+/// level (parent-aligned tiles, see hierarchy.hpp):
+///
+///   Prolongation P — bilinear interpolation.  A fine zone reads its
+///   parent coarse zone with weight 3/4 per direction and the
+///   parity-adjacent neighbour with weight 1/4, tensor-product in 2-D
+///   (9/16, 3/16, 3/16, 1/16).  Reaches diagonally, so the coarse field's
+///   corner ghosts must be valid: the kernel runs exchange_ghosts_full().
+///
+///   Restriction R — full weighting, constructed as the exact transpose
+///   R = (1/4)·Pᵀ (the 1/4 keeps row sums at one, so constants restrict
+///   to constants).  Separable 1-D weights (1/4, 3/4, 3/4, 1/4) over the
+///   four fine zones 2c−1 … 2c+2 per direction.
+///
+/// Both operators use zero extension at the physical boundary (Dirichlet0
+/// ghosts), consistently on both sides, which preserves the transpose
+/// pairing exactly — the property the symmetric V-cycle needs to stay a
+/// valid CG preconditioner.  Kernels are VLA-recorded (gather loads for
+/// the stride-2 / stride-1/2 access) and priced per rank through
+/// ExecContext like every other kernel.
+
+#include "linalg/dist_vector.hpp"
+
+namespace v2d::linalg::mg {
+
+/// coarse ← R·fine (full weighting).  Refreshes the fine field's ghosts
+/// (corner-filled, Dirichlet0) and prices the halo exchange.
+void restrict_full_weighting(ExecContext& ctx, DistVector& fine,
+                             DistVector& coarse);
+
+/// fine ← fine + P·coarse (bilinear, additive — the coarse-grid
+/// correction).  Refreshes the coarse field's ghosts (corner-filled,
+/// Dirichlet0) and prices the halo exchange.
+void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
+                          DistVector& fine);
+
+}  // namespace v2d::linalg::mg

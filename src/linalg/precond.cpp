@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/kernels.hpp"
+#include "linalg/mg/mg_precond.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
@@ -272,12 +273,19 @@ void SpaiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
 std::unique_ptr<Preconditioner> make_preconditioner(const std::string& kind,
                                                     ExecContext& ctx,
                                                     const StencilOperator& A) {
+  return make_preconditioner(kind, ctx, A, mg::MgOptions{});
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(
+    const std::string& kind, ExecContext& ctx, const StencilOperator& A,
+    const mg::MgOptions& mg_options) {
   if (kind == "identity") return std::make_unique<IdentityPrecond>();
   if (kind == "jacobi") return std::make_unique<JacobiPrecond>(ctx, A);
   if (kind == "spai0") return std::make_unique<Spai0Precond>(ctx, A);
   if (kind == "spai") return std::make_unique<SpaiPrecond>(ctx, A);
+  if (kind == "mg") return std::make_unique<mg::MgPrecond>(ctx, A, mg_options);
   throw Error("unknown preconditioner '" + kind +
-              "' (expected identity|jacobi|spai0|spai)");
+              "' (expected identity|jacobi|spai0|spai|mg)");
 }
 
 }  // namespace v2d::linalg

@@ -87,9 +87,20 @@ private:
   StencilOperator m_;
 };
 
-/// Factory by short name: "identity" | "jacobi" | "spai0" | "spai".
+namespace mg {
+struct MgOptions;
+}  // namespace mg
+
+/// Factory by short name: "identity" | "jacobi" | "spai0" | "spai" | "mg".
+/// "mg" builds a geometric multigrid V-cycle with default options (see
+/// linalg/mg/mg_precond.hpp).
 std::unique_ptr<Preconditioner> make_preconditioner(const std::string& kind,
                                                     ExecContext& ctx,
                                                     const StencilOperator& A);
+
+/// Same, with explicit multigrid options (ignored unless kind == "mg").
+std::unique_ptr<Preconditioner> make_preconditioner(
+    const std::string& kind, ExecContext& ctx, const StencilOperator& A,
+    const mg::MgOptions& mg_options);
 
 }  // namespace v2d::linalg

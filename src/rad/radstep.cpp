@@ -14,10 +14,12 @@ RadiationStepper::RadiationStepper(const grid::Grid2D& g,
                                    const grid::Decomposition& d,
                                    FldBuilder builder,
                                    linalg::SolveOptions solver_options,
-                                   std::string preconditioner)
+                                   std::string preconditioner,
+                                   linalg::mg::MgOptions mg_options)
     : builder_(std::move(builder)),
       opt_(solver_options),
       precond_kind_(std::move(preconditioner)),
+      mg_options_(std::move(mg_options)),
       a_diffusion_(g, d, builder_.ns()),
       a_coupling_(g, d, builder_.ns()),
       solver_(g, d, builder_.ns()),
@@ -29,7 +31,8 @@ RadiationStepper::RadiationStepper(const grid::Grid2D& g,
 
 SolveStats RadiationStepper::run_solve(ExecContext& ctx, StencilOperator& A,
                                        DistVector& x, const DistVector& b) {
-  const auto precond = linalg::make_preconditioner(precond_kind_, ctx, A);
+  const auto precond =
+      linalg::make_preconditioner(precond_kind_, ctx, A, mg_options_);
   return solver_.solve(ctx, A, *precond, x, b, opt_);
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "linalg/bicgstab.hpp"
+#include "linalg/mg/options.hpp"
 #include "rad/fld.hpp"
 
 namespace v2d::rad {
@@ -51,7 +52,8 @@ class RadiationStepper {
 public:
   RadiationStepper(const grid::Grid2D& g, const grid::Decomposition& d,
                    FldBuilder builder, linalg::SolveOptions solver_options = {},
-                   std::string preconditioner = "spai0");
+                   std::string preconditioner = "spai0",
+                   linalg::mg::MgOptions mg_options = {});
 
   FldBuilder& builder() { return builder_; }
   const linalg::SolveOptions& solver_options() const { return opt_; }
@@ -73,6 +75,7 @@ private:
   FldBuilder builder_;
   linalg::SolveOptions opt_;
   std::string precond_kind_;
+  linalg::mg::MgOptions mg_options_;
   linalg::StencilOperator a_diffusion_;
   linalg::StencilOperator a_coupling_;
   linalg::BicgstabSolver solver_;

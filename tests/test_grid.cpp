@@ -122,6 +122,31 @@ TEST(DistFieldTest, GhostExchangeMatchesNeighbours) {
   EXPECT_EQ(transfers.size(), 24u);
 }
 
+TEST(DistFieldTest, FullExchangeFillsCornerGhosts) {
+  const Grid2D g(12, 12, 0, 1, 0, 1);
+  const Decomposition d(g, mpisim::CartTopology(3, 3));
+  DistField f(g, d, 1, 1);
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < 12; ++i) f.gset(0, i, j, 100.0 * i + j);
+  const auto transfers = f.exchange_ghosts_full();
+  // Middle tile (rank 4): all four corner ghosts hold the diagonal
+  // neighbours' values, delivered through the two-phase face exchange.
+  const TileExtent& e = d.extent(4);
+  TileView v = f.view(4, 0);
+  EXPECT_DOUBLE_EQ(v(-1, -1), 100.0 * (e.i0 - 1) + (e.j0 - 1));
+  EXPECT_DOUBLE_EQ(v(e.ni, -1), 100.0 * (e.i0 + e.ni) + (e.j0 - 1));
+  EXPECT_DOUBLE_EQ(v(-1, e.nj), 100.0 * (e.i0 - 1) + (e.j0 + e.nj));
+  EXPECT_DOUBLE_EQ(v(e.ni, e.nj), 100.0 * (e.i0 + e.ni) + (e.j0 + e.nj));
+  // Same message count as the plain exchange; corners ride along.
+  EXPECT_EQ(transfers.size(), 24u);
+  // Domain-corner ghosts are the BC's job.
+  f.apply_bc(BcKind::Dirichlet0);
+  EXPECT_DOUBLE_EQ(f.view(0, 0)(-1, -1), 0.0);
+  TileView v8 = f.view(8, 0);
+  const TileExtent& e8 = d.extent(8);
+  EXPECT_DOUBLE_EQ(v8(e8.ni, e8.nj), 0.0);
+}
+
 TEST(DistFieldTest, StridedFlagOnX1Halos) {
   const Grid2D g(8, 8, 0, 1, 0, 1);
   const Decomposition d(g, mpisim::CartTopology(2, 2));

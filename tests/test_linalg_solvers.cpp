@@ -221,7 +221,49 @@ TEST(Precond, FactoryNames) {
   EXPECT_EQ(make_preconditioner("jacobi", ctx, prob.A)->name(), "jacobi");
   EXPECT_EQ(make_preconditioner("spai0", ctx, prob.A)->name(), "spai0");
   EXPECT_EQ(make_preconditioner("spai", ctx, prob.A)->name(), "spai");
+  EXPECT_EQ(make_preconditioner("mg", ctx, prob.A)->name(), "mg");
   EXPECT_THROW(make_preconditioner("ilu", ctx, prob.A), Error);
+}
+
+TEST(Precond, FactoryUnknownNameListsCatalogue) {
+  Problem prob(8, 8, 1);
+  Rng rng(3);
+  fill_operator(prob.A, rng);
+  ExecContext ctx;
+  try {
+    make_preconditioner("ssor", ctx, prob.A);
+    FAIL() << "expected v2d::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ssor"), std::string::npos);
+    EXPECT_NE(msg.find("mg"), std::string::npos) << msg;
+  }
+}
+
+TEST(Precond, Spai0ColumnsMatchClosedForm) {
+  // SPAI(0) column k minimizes ‖A·m_k·e_k − e_k‖₂ over scalars, whose
+  // closed form is m_k = a_kk / Σ_i a_ik² (column norm from the assembled
+  // matrix).  The built diagonal must match it zone for zone.
+  Problem prob(10, 9, 1, 2, 1);
+  Rng rng(71);
+  fill_operator(prob.A, rng, /*skew=*/0.3);
+  ExecContext ctx;
+  Spai0Precond spai0(ctx, prob.A);
+  const BandedMatrix A = prob.A.assemble();
+  const std::int64_t n = A.size();
+  const auto m = spai0.diagonal().gather_global();
+  for (std::int64_t k = 0; k < n; ++k) {
+    double col_norm2 = 0.0;
+    for (const auto off : A.offsets()) {
+      const std::int64_t row = k - off;  // rows whose band `off` hits col k
+      if (row < 0 || row >= n) continue;
+      const double a = A.get(row, off);
+      col_norm2 += a * a;
+    }
+    const double expected = A.get(k, 0) / col_norm2;
+    EXPECT_NEAR(m[static_cast<std::size_t>(k)], expected, 1e-13)
+        << "column " << k;
+  }
 }
 
 TEST(Precond, SpaiColumnsReduceFrobenius) {
