@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ganged.dir/bench/bench_ganged.cpp.o"
+  "CMakeFiles/bench_ganged.dir/bench/bench_ganged.cpp.o.d"
+  "bench_ganged"
+  "bench_ganged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ganged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_native.dir/bench/bench_kernels_native.cpp.o"
+  "CMakeFiles/bench_kernels_native.dir/bench/bench_kernels_native.cpp.o.d"
+  "bench_kernels_native"
+  "bench_kernels_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

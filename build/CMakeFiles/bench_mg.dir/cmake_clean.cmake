@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mg.dir/bench/bench_mg.cpp.o"
+  "CMakeFiles/bench_mg.dir/bench/bench_mg.cpp.o.d"
+  "bench_mg"
+  "bench_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precond.dir/bench/bench_precond.cpp.o"
+  "CMakeFiles/bench_precond.dir/bench/bench_precond.cpp.o.d"
+  "bench_precond"
+  "bench_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

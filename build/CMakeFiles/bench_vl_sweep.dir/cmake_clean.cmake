@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vl_sweep.dir/bench/bench_vl_sweep.cpp.o"
+  "CMakeFiles/bench_vl_sweep.dir/bench/bench_vl_sweep.cpp.o.d"
+  "bench_vl_sweep"
+  "bench_vl_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vl_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

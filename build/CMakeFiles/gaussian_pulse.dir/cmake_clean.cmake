@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_pulse.dir/examples/gaussian_pulse.cpp.o"
+  "CMakeFiles/gaussian_pulse.dir/examples/gaussian_pulse.cpp.o.d"
+  "gaussian_pulse"
+  "gaussian_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedov_radhydro.dir/examples/sedov_radhydro.cpp.o"
+  "CMakeFiles/sedov_radhydro.dir/examples/sedov_radhydro.cpp.o.d"
+  "sedov_radhydro"
+  "sedov_radhydro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedov_radhydro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sedov_radhydro.
+# This may be replaced when dependencies are built.

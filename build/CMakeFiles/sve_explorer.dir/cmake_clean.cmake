@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sve_explorer.dir/examples/sve_explorer.cpp.o"
+  "CMakeFiles/sve_explorer.dir/examples/sve_explorer.cpp.o.d"
+  "sve_explorer"
+  "sve_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sve_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_validation.dir/tests/test_cache_validation.cpp.o"
+  "CMakeFiles/test_cache_validation.dir/tests/test_cache_validation.cpp.o.d"
+  "test_cache_validation"
+  "test_cache_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

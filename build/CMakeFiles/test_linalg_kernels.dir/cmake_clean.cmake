@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_kernels.dir/tests/test_linalg_kernels.cpp.o"
+  "CMakeFiles/test_linalg_kernels.dir/tests/test_linalg_kernels.cpp.o.d"
+  "test_linalg_kernels"
+  "test_linalg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_solvers.dir/tests/test_linalg_solvers.cpp.o"
+  "CMakeFiles/test_linalg_solvers.dir/tests/test_linalg_solvers.cpp.o.d"
+  "test_linalg_solvers"
+  "test_linalg_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

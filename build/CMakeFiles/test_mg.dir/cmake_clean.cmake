@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg.dir/tests/test_mg.cpp.o"
+  "CMakeFiles/test_mg.dir/tests/test_mg.cpp.o.d"
+  "test_mg"
+  "test_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

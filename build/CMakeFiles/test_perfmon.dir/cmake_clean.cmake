@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmon.dir/tests/test_perfmon.cpp.o"
+  "CMakeFiles/test_perfmon.dir/tests/test_perfmon.cpp.o.d"
+  "test_perfmon"
+  "test_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

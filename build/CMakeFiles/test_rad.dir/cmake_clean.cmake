@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rad.dir/tests/test_rad.cpp.o"
+  "CMakeFiles/test_rad.dir/tests/test_rad.cpp.o.d"
+  "test_rad"
+  "test_rad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

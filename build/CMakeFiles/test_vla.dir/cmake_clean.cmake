@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vla.dir/tests/test_vla.cpp.o"
+  "CMakeFiles/test_vla.dir/tests/test_vla.cpp.o.d"
+  "test_vla"
+  "test_vla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/profile.cpp" "CMakeFiles/v2d.dir/src/compiler/profile.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/compiler/profile.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "CMakeFiles/v2d.dir/src/core/config.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/core/config.cpp.o.d"
+  "/root/repo/src/core/v2d.cpp" "CMakeFiles/v2d.dir/src/core/v2d.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/core/v2d.cpp.o.d"
+  "/root/repo/src/grid/dist_field.cpp" "CMakeFiles/v2d.dir/src/grid/dist_field.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/grid/dist_field.cpp.o.d"
+  "/root/repo/src/hydro/coupling.cpp" "CMakeFiles/v2d.dir/src/hydro/coupling.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/hydro/coupling.cpp.o.d"
+  "/root/repo/src/hydro/euler.cpp" "CMakeFiles/v2d.dir/src/hydro/euler.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/hydro/euler.cpp.o.d"
+  "/root/repo/src/hydro/setups.cpp" "CMakeFiles/v2d.dir/src/hydro/setups.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/hydro/setups.cpp.o.d"
+  "/root/repo/src/io/h5lite.cpp" "CMakeFiles/v2d.dir/src/io/h5lite.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/io/h5lite.cpp.o.d"
+  "/root/repo/src/linalg/banded.cpp" "CMakeFiles/v2d.dir/src/linalg/banded.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/banded.cpp.o.d"
+  "/root/repo/src/linalg/bicgstab.cpp" "CMakeFiles/v2d.dir/src/linalg/bicgstab.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/bicgstab.cpp.o.d"
+  "/root/repo/src/linalg/cg.cpp" "CMakeFiles/v2d.dir/src/linalg/cg.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/dist_vector.cpp" "CMakeFiles/v2d.dir/src/linalg/dist_vector.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/dist_vector.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "CMakeFiles/v2d.dir/src/linalg/kernels.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/kernels.cpp.o.d"
+  "/root/repo/src/linalg/mg/hierarchy.cpp" "CMakeFiles/v2d.dir/src/linalg/mg/hierarchy.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/mg/hierarchy.cpp.o.d"
+  "/root/repo/src/linalg/mg/mg_precond.cpp" "CMakeFiles/v2d.dir/src/linalg/mg/mg_precond.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/mg/mg_precond.cpp.o.d"
+  "/root/repo/src/linalg/mg/smoother.cpp" "CMakeFiles/v2d.dir/src/linalg/mg/smoother.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/mg/smoother.cpp.o.d"
+  "/root/repo/src/linalg/mg/transfer.cpp" "CMakeFiles/v2d.dir/src/linalg/mg/transfer.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/mg/transfer.cpp.o.d"
+  "/root/repo/src/linalg/precond.cpp" "CMakeFiles/v2d.dir/src/linalg/precond.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/precond.cpp.o.d"
+  "/root/repo/src/linalg/stencil_op.cpp" "CMakeFiles/v2d.dir/src/linalg/stencil_op.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/linalg/stencil_op.cpp.o.d"
+  "/root/repo/src/mpisim/exec_model.cpp" "CMakeFiles/v2d.dir/src/mpisim/exec_model.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/mpisim/exec_model.cpp.o.d"
+  "/root/repo/src/mpisim/msgqueue.cpp" "CMakeFiles/v2d.dir/src/mpisim/msgqueue.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/mpisim/msgqueue.cpp.o.d"
+  "/root/repo/src/mpisim/netcost.cpp" "CMakeFiles/v2d.dir/src/mpisim/netcost.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/mpisim/netcost.cpp.o.d"
+  "/root/repo/src/perfmon/papi.cpp" "CMakeFiles/v2d.dir/src/perfmon/papi.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/perfmon/papi.cpp.o.d"
+  "/root/repo/src/perfmon/perf_stat.cpp" "CMakeFiles/v2d.dir/src/perfmon/perf_stat.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/perfmon/perf_stat.cpp.o.d"
+  "/root/repo/src/perfmon/profiler.cpp" "CMakeFiles/v2d.dir/src/perfmon/profiler.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/perfmon/profiler.cpp.o.d"
+  "/root/repo/src/rad/fld.cpp" "CMakeFiles/v2d.dir/src/rad/fld.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/rad/fld.cpp.o.d"
+  "/root/repo/src/rad/gaussian.cpp" "CMakeFiles/v2d.dir/src/rad/gaussian.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/rad/gaussian.cpp.o.d"
+  "/root/repo/src/rad/limiter.cpp" "CMakeFiles/v2d.dir/src/rad/limiter.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/rad/limiter.cpp.o.d"
+  "/root/repo/src/rad/radstep.cpp" "CMakeFiles/v2d.dir/src/rad/radstep.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/rad/radstep.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "CMakeFiles/v2d.dir/src/sim/cache.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "CMakeFiles/v2d.dir/src/sim/cost_model.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/ledger.cpp" "CMakeFiles/v2d.dir/src/sim/ledger.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/sim/ledger.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "CMakeFiles/v2d.dir/src/sim/machine.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/sim/machine.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "CMakeFiles/v2d.dir/src/support/log.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/support/log.cpp.o.d"
+  "/root/repo/src/support/options.cpp" "CMakeFiles/v2d.dir/src/support/options.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/support/options.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/v2d.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/units.cpp" "CMakeFiles/v2d.dir/src/support/units.cpp.o" "gcc" "CMakeFiles/v2d.dir/src/support/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
