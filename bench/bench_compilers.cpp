@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
   grid::Grid2D g(25, 20, 0.0, 1.0, 0.0, 1.0);
   grid::Decomposition dec(g, mpisim::CartTopology(1, 1));
   mpisim::ExecModel em(sim::MachineSpec::a64fx(), profiles, 1);
-  linalg::ExecContext ctx(vla::VectorArch(512), &em);
+  linalg::ExecContext ctx(vla::VectorArch(512), &em,
+                          vla::VlaExecMode::Native);
 
   linalg::DistVector x(g, dec, 2), y(g, dec, 2), z(g, dec, 2);
   x.fill(ctx, 1.25);

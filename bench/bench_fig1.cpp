@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   cfg.include_absorption = false;
   rad::FldBuilder builder(g, dec, 2, opac, cfg);
   linalg::ExecContext ctx;  // unpriced
+  ctx.vctx.set_exec_mode(vla::VlaExecMode::Native);  // numerics-only: fast path
   linalg::DistVector e(g, dec, 2), rhs(g, dec, 2);
   rad::GaussianPulse pulse;
   pulse.d_coeff = 1.0 / 30.0;

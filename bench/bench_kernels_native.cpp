@@ -1,23 +1,35 @@
 /// \file bench_kernels_native.cpp
-/// \brief google-benchmark of the kernels' real host performance.
+/// \brief Host wall-time of the VLA kernels: interpreter vs native fast path.
 ///
 /// Everything else in bench/ reports *simulated A64FX* time.  This binary
-/// measures what the VLA-instrumented kernels actually cost on the build
-/// machine (wall clock), which bounds how long the simulation benches take
-/// and documents the instrumentation overhead.  It is not a reproduction
-/// artifact.
+/// measures what the kernels actually cost on the build machine under the
+/// two VlaExecMode backends — the before/after of the fast-path engine —
+/// plus a plain scalar loop as the floor.  Since both backends produce
+/// bit-identical results and recordings (tests/test_vla_fastpath.cpp), the
+/// speedup column is pure instrumentation overhead removed; it bounds how
+/// long the simulation benches take at scale.  Self-timed, no external
+/// benchmark dependency; emits BENCH_kernels.json for CI trend tracking.
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "linalg/kernels.hpp"
+#include "linalg/mg/mg_kernels.hpp"
+#include "support/options.hpp"
 #include "support/rng.hpp"
-#include "vla/vla.hpp"
+#include "support/table.hpp"
 
 namespace {
 
 using namespace v2d;
+using vla::Context;
+using vla::VectorArch;
+using vla::VlaExecMode;
 
 std::vector<double> make_vec(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -26,64 +38,225 @@ std::vector<double> make_vec(std::size_t n, std::uint64_t seed) {
   return v;
 }
 
-void BM_Daxpy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  vla::Context ctx{vla::VectorArch(512)};
-  const auto x = make_vec(n, 1);
-  auto y = make_vec(n, 2);
-  for (auto _ : state) {
-    linalg::daxpy(ctx, 1.0000001, x, y);
-    benchmark::DoNotOptimize(y.data());
-    (void)ctx.take_counts();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-BENCHMARK(BM_Daxpy)->Arg(1000)->Arg(40000);
+volatile double g_sink = 0.0;
 
-void BM_Dprod(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  vla::Context ctx{vla::VectorArch(512)};
-  const auto x = make_vec(n, 3), y = make_vec(n, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::dprod(ctx, x, y));
-    (void)ctx.take_counts();
+/// Best-of-3 wall time of `body()` repeated until each sample spans at
+/// least `min_ms` milliseconds (minimum, so background noise only ever
+/// inflates the other samples).
+template <typename Body>
+double seconds_per_call(Body&& body, double min_ms) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate the repetition count.
+  std::uint64_t reps = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) body();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (ms >= min_ms || reps > (1ULL << 30)) break;
+    reps = ms <= 0.01 ? reps * 16
+                      : static_cast<std::uint64_t>(
+                            static_cast<double>(reps) * (1.2 * min_ms / ms)) +
+                            1;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+  double best = 1e300;
+  for (int sample = 0; sample < 3; ++sample) {
+    const auto t0 = clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) body();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best / static_cast<double>(reps);
 }
-BENCHMARK(BM_Dprod)->Arg(1000)->Arg(40000);
 
-void BM_StencilRow(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  vla::Context ctx{vla::VectorArch(512)};
-  const auto cc = make_vec(n, 5), cw = make_vec(n, 6), ce = make_vec(n, 7),
-             cs = make_vec(n, 8), cn = make_vec(n, 9);
-  const auto xc = make_vec(n + 2, 10), xs = make_vec(n, 11),
-             xn = make_vec(n, 12);
-  std::vector<double> y(n);
-  for (auto _ : state) {
-    linalg::stencil_row(ctx, cc, cw, ce, cs, cn, xc.data() + 1, xs.data(),
-                        xn.data(), y);
-    benchmark::DoNotOptimize(y.data());
-    (void)ctx.take_counts();
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
-}
-BENCHMARK(BM_StencilRow)->Arg(200)->Arg(1000);
+struct Result {
+  std::string kernel;
+  std::size_t n;
+  unsigned vl_bits;
+  double interp_ns_per_elem;
+  double native_ns_per_elem;
+  double scalar_ns_per_elem;  // 0 when no scalar reference was run
+  double speedup() const { return interp_ns_per_elem / native_ns_per_elem; }
+};
 
-void BM_VlaOverhead(benchmark::State& state) {
-  // Plain scalar daxpy for comparison against BM_Daxpy: the gap is the
-  // cost of instrumented VLA execution.
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto x = make_vec(n, 13);
-  auto y = make_vec(n, 14);
-  for (auto _ : state) {
-    for (std::size_t i = 0; i < n; ++i) y[i] += 1.0000001 * x[i];
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+/// Run `body(ctx)` under both backends and record ns/element.
+template <typename Body>
+Result measure(const std::string& name, std::size_t n, unsigned bits,
+               double min_ms, Body&& body) {
+  Context interp{VectorArch(bits), VlaExecMode::Interpret};
+  Context fast{VectorArch(bits), VlaExecMode::Native};
+  Result res;
+  res.kernel = name;
+  res.n = n;
+  res.vl_bits = bits;
+  const double si = seconds_per_call([&] { body(interp); }, min_ms);
+  const double sn = seconds_per_call([&] { body(fast); }, min_ms);
+  res.interp_ns_per_elem = 1e9 * si / static_cast<double>(n);
+  res.native_ns_per_elem = 1e9 * sn / static_cast<double>(n);
+  res.scalar_ns_per_elem = 0.0;
+  return res;
 }
-BENCHMARK(BM_VlaOverhead)->Arg(1000)->Arg(40000);
+
+void write_json(const std::string& path, const std::vector<Result>& results) {
+  std::ofstream os(path);
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  {\"kernel\": \"%s\", \"n\": %zu, \"vl_bits\": %u, "
+                  "\"interp_ns_per_elem\": %.4f, \"native_ns_per_elem\": "
+                  "%.4f, \"scalar_ns_per_elem\": %.4f, \"speedup\": %.2f}%s\n",
+                  r.kernel.c_str(), r.n, r.vl_bits, r.interp_ns_per_elem,
+                  r.native_ns_per_elem, r.scalar_ns_per_elem, r.speedup(),
+                  i + 1 < results.size() ? "," : "");
+    os << buf;
+  }
+  os << "]\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Options opt;
+  opt.add("sizes", "1000,40000", "comma list of vector lengths");
+  opt.add("vl", "512", "VLA vector length in bits");
+  opt.add("min-ms", "20", "minimum milliseconds per timing sample");
+  opt.add("out", "BENCH_kernels.json", "JSON output path (empty = none)");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("bench_kernels_native");
+    return 1;
+  }
+  const auto bits = static_cast<unsigned>(opt.get_int("vl"));
+  const double min_ms = opt.get_double("min-ms");
+
+  std::vector<std::size_t> sizes;
+  {
+    std::string item;
+    std::stringstream ss(opt.get("sizes"));
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      std::size_t pos = 0;
+      std::size_t value = 0;
+      try {
+        value = std::stoul(item, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != item.size() || value == 0) {
+        std::cerr << "--sizes: '" << item << "' is not a positive integer\n"
+                  << opt.usage("bench_kernels_native");
+        return 1;
+      }
+      sizes.push_back(value);
+    }
+  }
+
+  std::vector<Result> results;
+  for (const std::size_t n : sizes) {
+    const auto x = make_vec(n, 1), w = make_vec(n, 2);
+    auto y = make_vec(n, 3);
+    std::vector<double> z(n);
+
+    results.push_back(measure("dprod", n, bits, min_ms, [&](Context& ctx) {
+      g_sink = linalg::dprod(ctx, x, w);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("daxpy", n, bits, min_ms, [&](Context& ctx) {
+      linalg::daxpy(ctx, 1.0000001, x, y);
+      (void)ctx.take_counts();
+    }));
+    // Plain scalar daxpy: the floor the native path is chasing.
+    {
+      auto ys = make_vec(n, 3);
+      const double s = seconds_per_call(
+          [&] {
+            for (std::size_t i = 0; i < n; ++i)
+              ys[i] += 1.0000001 * x[i];
+            g_sink = ys[n / 2];
+          },
+          min_ms);
+      results.back().scalar_ns_per_elem = 1e9 * s / static_cast<double>(n);
+    }
+    results.push_back(measure("dscal", n, bits, min_ms, [&](Context& ctx) {
+      linalg::dscal(ctx, 0.75, 0.9999999, y);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("ddaxpy", n, bits, min_ms, [&](Context& ctx) {
+      linalg::ddaxpy(ctx, 1.0000001, x, 0.9999999, w, y);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("xpby", n, bits, min_ms, [&](Context& ctx) {
+      linalg::xpby(ctx, x, 0.9999999, y);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("copy", n, bits, min_ms, [&](Context& ctx) {
+      linalg::copy(ctx, x, z);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("fill", n, bits, min_ms, [&](Context& ctx) {
+      linalg::fill(ctx, 1.25, z);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("sub", n, bits, min_ms, [&](Context& ctx) {
+      linalg::sub(ctx, x, w, z);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(measure("hadamard", n, bits, min_ms, [&](Context& ctx) {
+      linalg::hadamard(ctx, x, w, z);
+      (void)ctx.take_counts();
+    }));
+
+    // MATVEC in its row form: one stencil row of n zones (ghosted center).
+    const auto cc = make_vec(n, 5), cw = make_vec(n, 6), ce = make_vec(n, 7),
+               cs = make_vec(n, 8), cn = make_vec(n, 9);
+    const auto xc = make_vec(n + 2, 10), xs = make_vec(n, 11),
+               xn = make_vec(n, 12);
+    results.push_back(measure("matvec", n, bits, min_ms, [&](Context& ctx) {
+      linalg::stencil_row(ctx, cc, cw, ce, cs, cn, xc.data() + 1, xs.data(),
+                          xn.data(), z);
+      (void)ctx.take_counts();
+    }));
+    results.push_back(
+        measure("mg-smooth", n, bits, min_ms, [&](Context& ctx) {
+          linalg::mg::diag_correct_row(ctx, 0.8, x, w, y);
+          (void)ctx.take_counts();
+        }));
+  }
+
+  TableWriter table("VLA kernel host wall-time: interpreter vs native");
+  table.set_columns({"kernel", "n", "interp ns/elem", "native ns/elem",
+                     "scalar ns/elem", "speedup"});
+  bool ok = true;
+  for (const Result& r : results) {
+    table.add_row({r.kernel, std::to_string(r.n),
+                   TableWriter::num(r.interp_ns_per_elem, 3),
+                   TableWriter::num(r.native_ns_per_elem, 3),
+                   r.scalar_ns_per_elem > 0.0
+                       ? TableWriter::num(r.scalar_ns_per_elem, 3)
+                       : "",
+                   TableWriter::num(r.speedup(), 1)});
+    // The fast-path engine exists to beat the interpreter by a wide
+    // margin on the hot Table II kernels; flag regressions loudly.
+    if (r.n >= 40000 &&
+        (r.kernel == "daxpy" || r.kernel == "dprod" || r.kernel == "matvec") &&
+        r.speedup() < 5.0) {
+      ok = false;
+    }
+  }
+  table.print(std::cout);
+
+  const std::string out = opt.get("out");
+  if (!out.empty()) {
+    write_json(out, results);
+    std::cout << "\nwrote " << out << "\n";
+  }
+  if (!ok) {
+    std::cerr << "FAIL: native fast path under 5x on a hot kernel at "
+                 "n >= 40000\n";
+    return 1;
+  }
+  return 0;
+}

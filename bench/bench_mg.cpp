@@ -87,11 +87,18 @@ int main(int argc, char** argv) {
       rad::FldConfig fld_cfg;
       fld_cfg.include_absorption = false;
       const rad::FldBuilder builder(g, dec, 1, opac, fld_cfg);
+      // One scratch workspace per shape, shared by every preconditioner's
+      // CG solve below.
+      linalg::SolverWorkspace ws(g, dec, 1);
 
       for (const char* kind : {"jacobi", "spai0", "spai", "mg"}) {
         mpisim::ExecModel em(sim::MachineSpec::a64fx(),
                              {compiler::cray_2103()}, np);
-        linalg::ExecContext ctx(vla::VectorArch(512), &em);
+        // Native fast path: the priced stream is identical to the
+        // interpreter's (tests/test_vla_fastpath.cpp), only the host time
+        // to produce it shrinks.
+        linalg::ExecContext ctx(vla::VectorArch(512), &em,
+                                vla::VlaExecMode::Native);
 
         // The paper's pulse supplies the field the limiters chew on.
         linalg::DistVector e(g, dec, 1), e_old(g, dec, 1);
@@ -107,7 +114,7 @@ int main(int argc, char** argv) {
         em.reset();  // measure the solve, not the assembly
 
         auto M = linalg::make_preconditioner(kind, ctx, A);
-        linalg::CgSolver cg(g, dec, 1);
+        linalg::CgSolver cg(ws);
         linalg::SolveOptions sopt;
         sopt.rel_tol = opt.get_double("tol");
         sopt.max_iterations = static_cast<int>(opt.get_int("max-iter"));

@@ -97,7 +97,8 @@ int main(int argc, char** argv) {
   grid::Decomposition dec(g, mpisim::CartTopology(1, 1));
   mpisim::ExecModel em(sim::MachineSpec::a64fx(), profiles, 1);
   linalg::ExecContext ctx(
-      vla::VectorArch(static_cast<unsigned>(opt.get_int("vector-bits"))), &em);
+      vla::VectorArch(static_cast<unsigned>(opt.get_int("vector-bits"))), &em,
+      vla::VlaExecMode::Native);
 
   Rng rng(20220727);  // the paper's arXiv date
   linalg::DistVector x(g, dec, 2), y(g, dec, 2), z(g, dec, 2);

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
     sim::MachineSpec machine = sim::MachineSpec::a64fx();
     machine.sve_bits = bits;  // hypothetical silicon at this VL
     mpisim::ExecModel em(machine, {compiler::cray_2103()}, 1);
-    linalg::ExecContext ctx(vla::VectorArch(bits), &em);
+    linalg::ExecContext ctx(vla::VectorArch(bits), &em,
+                            vla::VlaExecMode::Native);
 
     linalg::DistVector x(g, dec, 2), y(g, dec, 2);
     x.fill(ctx, 1.25);

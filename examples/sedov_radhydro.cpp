@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
                               static_cast<int>(opt.get_int("nprx2"))));
   mpisim::ExecModel em(sim::MachineSpec::a64fx(),
                        {compiler::cray_2103()}, dec.nranks());
-  linalg::ExecContext ctx(vla::VectorArch(512), &em);
+  linalg::ExecContext ctx(vla::VectorArch(512), &em,
+                          vla::VlaExecMode::Native);
 
   // Gas: Sedov blast in a reflecting box.
   const hydro::GammaLawEos eos(5.0 / 3.0);

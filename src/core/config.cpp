@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "vla/vla.hpp"
 
 namespace v2d::core {
 
@@ -37,6 +38,8 @@ void RunConfig::register_options(Options& opt) {
   opt.add("compilers", "cray",
           "comma list of profiles: gnu,fujitsu,cray,cray-noopt,clang");
   opt.add("vector-bits", "512", "SVE vector length (128..2048)");
+  opt.add("vla-exec", "native",
+          "VLA execution backend: native (fast path) | interpret (reference)");
   opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
   opt.add("checkpoint-every", "0", "steps between checkpoints (0 = end only)");
 }
@@ -75,6 +78,8 @@ RunConfig RunConfig::from_options(const Options& opt) {
   }
   V2D_REQUIRE(!c.compilers.empty(), "need at least one compiler profile");
   c.vector_bits = static_cast<unsigned>(opt.get_int("vector-bits"));
+  c.vla_exec = opt.get("vla-exec");
+  (void)vla::vla_exec_mode_from_name(c.vla_exec);  // validate early
   c.checkpoint_path = opt.get("checkpoint");
   c.checkpoint_every = static_cast<int>(opt.get_int("checkpoint-every"));
   return c;

@@ -47,6 +47,11 @@ struct RunConfig {
   // --- simulated platform ---
   std::vector<std::string> compilers = {"cray"};  ///< profile short names
   unsigned vector_bits = 512;
+  /// VLA execution backend: "native" (raw-pointer fast path + analytic
+  /// recording) or "interpret" (op-by-op reference).  Results and recorded
+  /// counts are identical; native is the default because it is the one you
+  /// want for anything larger than a unit test.
+  std::string vla_exec = "native";
 
   // --- output ---
   std::string checkpoint_path;  ///< empty = no checkpoint

@@ -39,7 +39,8 @@ Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
       dec_(grid_, mpisim::CartTopology(cfg.nprx1, cfg.nprx2)) {
   em_ = std::make_unique<mpisim::ExecModel>(
       std::move(machine), resolve_profiles(cfg.compilers), cfg.nranks());
-  ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get());
+  ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get(),
+                             vla::vla_exec_mode_from_name(cfg.vla_exec));
 
   rad::FldConfig fld_cfg;
   fld_cfg.limiter = cfg.limiter;

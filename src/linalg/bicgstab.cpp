@@ -12,14 +12,7 @@ constexpr double kBreakdownEps = 1.0e-300;
 
 BicgstabSolver::BicgstabSolver(const grid::Grid2D& g,
                                const grid::Decomposition& d, int ns)
-    : r_(g, d, ns),
-      rhat_(g, d, ns),
-      p_(g, d, ns),
-      v_(g, d, ns),
-      s_(g, d, ns),
-      t_(g, d, ns),
-      phat_(g, d, ns),
-      shat_(g, d, ns) {}
+    : owned_(std::make_unique<SolverWorkspace>(g, d, ns)), ws_(owned_.get()) {}
 
 SolveStats BicgstabSolver::solve(ExecContext& ctx, const LinearOperator& A,
                                  Preconditioner& M, DistVector& x,
@@ -37,11 +30,19 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
                                          const DistVector& b,
                                          const SolveOptions& opt) {
   SolveStats stats;
+  DistVector& r = ws_->vec(0);
+  DistVector& rhat = ws_->vec(1);
+  DistVector& p = ws_->vec(2);
+  DistVector& v = ws_->vec(3);
+  DistVector& s = ws_->vec(4);
+  DistVector& t = ws_->vec(5);
+  DistVector& phat = ws_->vec(6);
+  DistVector& shat = ws_->vec(7);
   // r0 = b − A·x0, r̂ = r0, p = r0.
-  A.apply(ctx, x, r_);
-  r_.assign_sub(ctx, b, r_);
-  rhat_.copy_from(ctx, r_);
-  p_.copy_from(ctx, r_);
+  A.apply(ctx, x, r);
+  r.assign_sub(ctx, b, r);
+  rhat.copy_from(ctx, r);
+  p.copy_from(ctx, r);
 
   const double bnorm = DistVector::norm2(ctx, b);
   ++stats.global_reductions;
@@ -52,9 +53,9 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
     return stats;
   }
 
-  double rho = DistVector::dot(ctx, rhat_, r_);
+  double rho = DistVector::dot(ctx, rhat, r);
   ++stats.global_reductions;
-  double rnorm = DistVector::norm2(ctx, r_);
+  double rnorm = DistVector::norm2(ctx, r);
   ++stats.global_reductions;
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
@@ -64,9 +65,9 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
       break;
     }
     // p̂ = M·p ; v = A·p̂.
-    M.apply(ctx, p_, phat_);
-    A.apply(ctx, phat_, v_);
-    const double rhat_v = DistVector::dot(ctx, rhat_, v_);
+    M.apply(ctx, p, phat);
+    A.apply(ctx, phat, v);
+    const double rhat_v = DistVector::dot(ctx, rhat, v);
     ++stats.global_reductions;
     if (std::fabs(rhat_v) < kBreakdownEps) {
       stats.stop_reason = "rhat.v breakdown";
@@ -74,20 +75,20 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
     }
     const double alpha = rho / rhat_v;
     // s = r − α·v.
-    s_.copy_from(ctx, r_);
-    s_.daxpy(ctx, -alpha, v_);
+    s.copy_from(ctx, r);
+    s.daxpy(ctx, -alpha, v);
     // ŝ = M·s ; t = A·ŝ.
-    M.apply(ctx, s_, shat_);
-    A.apply(ctx, shat_, t_);
-    const double ts = DistVector::dot(ctx, t_, s_);
+    M.apply(ctx, s, shat);
+    A.apply(ctx, shat, t);
+    const double ts = DistVector::dot(ctx, t, s);
     ++stats.global_reductions;
-    const double tt = DistVector::dot(ctx, t_, t_);
+    const double tt = DistVector::dot(ctx, t, t);
     ++stats.global_reductions;
     if (tt < kBreakdownEps) {
       // t vanished: x += α·p̂ finishes the step exactly.
-      x.daxpy(ctx, alpha, phat_);
-      r_.copy_from(ctx, s_);
-      rnorm = DistVector::norm2(ctx, r_);
+      x.daxpy(ctx, alpha, phat);
+      r.copy_from(ctx, s);
+      rnorm = DistVector::norm2(ctx, r);
       ++stats.global_reductions;
       stats.final_relative_residual = rnorm / bnorm;
       stats.converged = stats.final_relative_residual <= opt.rel_tol;
@@ -96,10 +97,10 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
     }
     const double omega = ts / tt;
     // x += α·p̂ + ω·ŝ ;  r = s − ω·t.
-    x.ddaxpy(ctx, alpha, phat_, omega, shat_);
-    r_.copy_from(ctx, s_);
-    r_.daxpy(ctx, -omega, t_);
-    rnorm = DistVector::norm2(ctx, r_);
+    x.ddaxpy(ctx, alpha, phat, omega, shat);
+    r.copy_from(ctx, s);
+    r.daxpy(ctx, -omega, t);
+    rnorm = DistVector::norm2(ctx, r);
     ++stats.global_reductions;
     stats.final_relative_residual = rnorm / bnorm;
     if (stats.final_relative_residual <= opt.rel_tol) {
@@ -111,13 +112,13 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
       stats.stop_reason = "omega breakdown";
       break;
     }
-    const double rho_new = DistVector::dot(ctx, rhat_, r_);
+    const double rho_new = DistVector::dot(ctx, rhat, r);
     ++stats.global_reductions;
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     // p = r + β·(p − ω·v).
-    p_.daxpy(ctx, -omega, v_);
-    p_.xpby(ctx, r_, beta);
+    p.daxpy(ctx, -omega, v);
+    p.xpby(ctx, r, beta);
   }
   if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
   return stats;
@@ -129,15 +130,23 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
                                         const DistVector& b,
                                         const SolveOptions& opt) {
   SolveStats stats;
-  A.apply(ctx, x, r_);
-  r_.assign_sub(ctx, b, r_);
-  rhat_.copy_from(ctx, r_);
-  p_.copy_from(ctx, r_);
+  DistVector& r = ws_->vec(0);
+  DistVector& rhat = ws_->vec(1);
+  DistVector& p = ws_->vec(2);
+  DistVector& v = ws_->vec(3);
+  DistVector& s = ws_->vec(4);
+  DistVector& t = ws_->vec(5);
+  DistVector& phat = ws_->vec(6);
+  DistVector& shat = ws_->vec(7);
+  A.apply(ctx, x, r);
+  r.assign_sub(ctx, b, r);
+  rhat.copy_from(ctx, r);
+  p.copy_from(ctx, r);
 
   // Setup gang: {‖b‖², ρ0 = r̂ᵀr} in a single reduction.
   double rho, bnorm;
   {
-    const DistVector::DotPair pairs[] = {{&b, &b}, {&rhat_, &r_}};
+    const DistVector::DotPair pairs[] = {{&b, &b}, {&rhat, &r}};
     const auto vals = DistVector::dot_ganged(ctx, pairs);
     ++stats.global_reductions;
     bnorm = std::sqrt(vals[0]);
@@ -157,23 +166,23 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
       stats.stop_reason = "rho breakdown";
       break;
     }
-    M.apply(ctx, p_, phat_);
-    A.apply(ctx, phat_, v_);
-    const double rhat_v = DistVector::dot(ctx, rhat_, v_);
+    M.apply(ctx, p, phat);
+    A.apply(ctx, phat, v);
+    const double rhat_v = DistVector::dot(ctx, rhat, v);
     ++stats.global_reductions;
     if (std::fabs(rhat_v) < kBreakdownEps) {
       stats.stop_reason = "rhat.v breakdown";
       break;
     }
     const double alpha = rho / rhat_v;
-    s_.copy_from(ctx, r_);
-    s_.daxpy(ctx, -alpha, v_);
-    M.apply(ctx, s_, shat_);
-    A.apply(ctx, shat_, t_);
+    s.copy_from(ctx, r);
+    s.daxpy(ctx, -alpha, v);
+    M.apply(ctx, s, shat);
+    A.apply(ctx, shat, t);
     // Gang: {tᵀs, tᵀt, sᵀs} in one reduction.
     double ts, tt, ss;
     {
-      const DistVector::DotPair pairs[] = {{&t_, &s_}, {&t_, &t_}, {&s_, &s_}};
+      const DistVector::DotPair pairs[] = {{&t, &s}, {&t, &t}, {&s, &s}};
       const auto vals = DistVector::dot_ganged(ctx, pairs);
       ++stats.global_reductions;
       ts = vals[0];
@@ -181,17 +190,17 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
       ss = vals[2];
     }
     if (tt < kBreakdownEps) {
-      x.daxpy(ctx, alpha, phat_);
-      r_.copy_from(ctx, s_);
+      x.daxpy(ctx, alpha, phat);
+      r.copy_from(ctx, s);
       stats.final_relative_residual = std::sqrt(std::max(0.0, ss)) / bnorm;
       stats.converged = stats.final_relative_residual <= opt.rel_tol;
       stats.stop_reason = "t breakdown";
       break;
     }
     const double omega = ts / tt;
-    x.ddaxpy(ctx, alpha, phat_, omega, shat_);
-    r_.copy_from(ctx, s_);
-    r_.daxpy(ctx, -omega, t_);
+    x.ddaxpy(ctx, alpha, phat, omega, shat);
+    r.copy_from(ctx, s);
+    r.daxpy(ctx, -omega, t);
     // ‖r‖² reconstructed from the gang — no extra reduction.
     rnorm2 = std::max(0.0, ss - 2.0 * omega * ts + omega * omega * tt);
     stats.final_relative_residual = std::sqrt(rnorm2) / bnorm;
@@ -204,12 +213,12 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
       stats.stop_reason = "omega breakdown";
       break;
     }
-    const double rho_new = DistVector::dot(ctx, rhat_, r_);
+    const double rho_new = DistVector::dot(ctx, rhat, r);
     ++stats.global_reductions;
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
-    p_.daxpy(ctx, -omega, v_);
-    p_.xpby(ctx, r_, beta);
+    p.daxpy(ctx, -omega, v);
+    p.xpby(ctx, r, beta);
   }
   if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
   return stats;

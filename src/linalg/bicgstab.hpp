@@ -13,14 +13,18 @@
 ///   {tᵀs, tᵀt, sᵀs}; the residual norm is reconstructed algebraically
 ///   from the last gang via ‖r‖² = sᵀs − 2ω·tᵀs + ω²·tᵀt.
 ///
-/// The solver owns its workspace (eight grid-shaped temporaries) so the
-/// 300-solve Table I workload reuses allocations.
+/// The solver draws its eight grid-shaped temporaries from a
+/// SolverWorkspace — either a shared one passed in (so CG, BiCGSTAB and
+/// repeated solver constructions on the same shape reuse the same
+/// buffers) or a private one it creates lazily — so the 300-solve Table I
+/// workload reuses allocations.
 
 #include <cstdint>
 #include <memory>
 
 #include "linalg/operator.hpp"
 #include "linalg/precond.hpp"
+#include "linalg/workspace.hpp"
 
 namespace v2d::linalg {
 
@@ -40,7 +44,11 @@ struct SolveStats {
 
 class BicgstabSolver {
 public:
+  /// Private workspace, allocated lazily on first solve.
   BicgstabSolver(const grid::Grid2D& g, const grid::Decomposition& d, int ns);
+  /// Borrow a shared workspace (slots 0..7).  The workspace must outlive
+  /// the solver; solves must not nest with another borrower's.
+  explicit BicgstabSolver(SolverWorkspace& ws) : ws_(&ws) {}
 
   /// Solve A·x = b starting from the provided x (initial guess).
   SolveStats solve(ExecContext& ctx, const LinearOperator& A,
@@ -55,7 +63,8 @@ private:
                           Preconditioner& M, DistVector& x,
                           const DistVector& b, const SolveOptions& opt);
 
-  DistVector r_, rhat_, p_, v_, s_, t_, phat_, shat_;
+  std::unique_ptr<SolverWorkspace> owned_;
+  SolverWorkspace* ws_;
 };
 
 }  // namespace v2d::linalg

@@ -7,22 +7,26 @@
 namespace v2d::linalg {
 
 CgSolver::CgSolver(const grid::Grid2D& g, const grid::Decomposition& d, int ns)
-    : r_(g, d, ns), z_(g, d, ns), p_(g, d, ns), q_(g, d, ns) {}
+    : owned_(std::make_unique<SolverWorkspace>(g, d, ns)), ws_(owned_.get()) {}
 
 SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
                            Preconditioner& M, DistVector& x,
                            const DistVector& b, const SolveOptions& opt) {
   V2D_REQUIRE(opt.rel_tol > 0.0, "tolerance must be positive");
   SolveStats stats;
+  DistVector& r = ws_->vec(0);
+  DistVector& z = ws_->vec(1);
+  DistVector& p = ws_->vec(2);
+  DistVector& q = ws_->vec(3);
 
-  A.apply(ctx, x, r_);
-  r_.assign_sub(ctx, b, r_);
-  M.apply(ctx, r_, z_);
-  p_.copy_from(ctx, z_);
+  A.apply(ctx, x, r);
+  r.assign_sub(ctx, b, r);
+  M.apply(ctx, r, z);
+  p.copy_from(ctx, z);
 
   double bnorm, rz, rnorm2;
   {
-    const DistVector::DotPair pairs[] = {{&b, &b}, {&r_, &z_}, {&r_, &r_}};
+    const DistVector::DotPair pairs[] = {{&b, &b}, {&r, &z}, {&r, &r}};
     const auto vals = DistVector::dot_ganged(ctx, pairs);
     ++stats.global_reductions;
     bnorm = std::sqrt(vals[0]);
@@ -38,8 +42,8 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
     stats.iterations = it;
-    A.apply(ctx, p_, q_);
-    const double pq = DistVector::dot(ctx, p_, q_);
+    A.apply(ctx, p, q);
+    const double pq = DistVector::dot(ctx, p, q);
     ++stats.global_reductions;
     // On an SPD operator p·Ap > 0 for p ≠ 0.  A negative (or NaN) value
     // means the operator is not positive definite — a distinct failure
@@ -50,12 +54,12 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
       break;
     }
     const double alpha = rz / pq;
-    x.daxpy(ctx, alpha, p_);
-    r_.daxpy(ctx, -alpha, q_);
-    M.apply(ctx, r_, z_);
+    x.daxpy(ctx, alpha, p);
+    r.daxpy(ctx, -alpha, q);
+    M.apply(ctx, r, z);
     double rz_new;
     {
-      const DistVector::DotPair pairs[] = {{&r_, &z_}, {&r_, &r_}};
+      const DistVector::DotPair pairs[] = {{&r, &z}, {&r, &r}};
       const auto vals = DistVector::dot_ganged(ctx, pairs);
       ++stats.global_reductions;
       rz_new = vals[0];
@@ -69,7 +73,7 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
     }
     const double beta = rz_new / rz;
     rz = rz_new;
-    p_.xpby(ctx, z_, beta);
+    p.xpby(ctx, z, beta);
   }
   if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
   return stats;

@@ -16,7 +16,11 @@ namespace v2d::linalg {
 
 class CgSolver {
 public:
+  /// Private workspace, allocated lazily on first solve.
   CgSolver(const grid::Grid2D& g, const grid::Decomposition& d, int ns);
+  /// Borrow a shared workspace (slots 0..3; compatible with sharing the
+  /// same workspace with a BicgstabSolver, which uses slots 0..7).
+  explicit CgSolver(SolverWorkspace& ws) : ws_(&ws) {}
 
   /// Solve A·x = b (A must be symmetric positive definite; M symmetric).
   SolveStats solve(ExecContext& ctx, const LinearOperator& A,
@@ -24,7 +28,8 @@ public:
                    const SolveOptions& opt = {});
 
 private:
-  DistVector r_, z_, p_, q_;
+  std::unique_ptr<SolverWorkspace> owned_;
+  SolverWorkspace* ws_;
 };
 
 }  // namespace v2d::linalg

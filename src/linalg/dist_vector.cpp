@@ -139,7 +139,11 @@ std::vector<double> DistVector::dot_ganged(ExecContext& ctx,
   const DistVector& first = *pairs[0].x;
   // Compensated accumulation makes the result independent of the tiling
   // (see support/dd.hpp); the VLA recording below still prices the
-  // ordinary strip-mined DPROD the hardware would run.
+  // ordinary strip-mined DPROD the hardware would run.  The compensated
+  // sum is the result in both exec modes, so on the fast path the
+  // interpreted DPROD is skipped entirely and only its analytic recording
+  // is kept — execution and recording fully decoupled.
+  const bool fast = ctx.vctx.native();
   std::vector<DdAccumulator> totals(pairs.size());
   for (int r = 0; r < first.nranks(); ++r) {
     const grid::TileExtent& e = first.field().decomp().extent(r);
@@ -152,10 +156,15 @@ std::vector<double> DistVector::dot_ganged(ExecContext& ctx,
         grid::TileView yv =
             const_cast<DistVector*>(pairs[k].y)->field().view(r, s);
         for (int lj = 0; lj < e.nj; ++lj) {
-          (void)linalg::dprod(
-              ctx.vctx,
-              std::span<const double>(xv.row(lj), static_cast<std::size_t>(e.ni)),
-              std::span<const double>(yv.row(lj), static_cast<std::size_t>(e.ni)));
+          if (fast) {
+            linalg::dprod_record_only(ctx.vctx,
+                                      static_cast<std::uint64_t>(e.ni));
+          } else {
+            (void)linalg::dprod(
+                ctx.vctx,
+                std::span<const double>(xv.row(lj), static_cast<std::size_t>(e.ni)),
+                std::span<const double>(yv.row(lj), static_cast<std::size_t>(e.ni)));
+          }
           const double* xr = xv.row(lj);
           const double* yr = yv.row(lj);
           for (int li = 0; li < e.ni; ++li) totals[k].add(xr[li] * yr[li]);

@@ -22,8 +22,9 @@ struct ExecContext {
   mpisim::ExecModel* em = nullptr;
 
   ExecContext() = default;
-  explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr)
-      : vctx(arch), em(model) {}
+  explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr,
+                       vla::VlaExecMode mode = vla::VlaExecMode::Interpret)
+      : vctx(arch, mode), em(model) {}
 
   /// Flush the recording accumulated since the last commit as one kernel
   /// call by `rank` touching a `working_set_bytes` footprint.

@@ -1,5 +1,7 @@
 #include "linalg/kernels.hpp"
 
+#include "linalg/kernel_counts.hpp"
+#include "linalg/kernels_native.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
@@ -11,6 +13,10 @@ using vla::VReg;
 double dprod(Context& ctx, std::span<const double> x,
              std::span<const double> y) {
   V2D_REQUIRE(x.size() == y.size(), "dprod: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Dprod, x.size());
+    return native::dprod(x.data(), y.data(), x.size(), ctx.lanes());
+  }
   return vla::strip_reduce(ctx, x.size(),
                            [&](std::uint64_t i, const Predicate& p, VReg acc) {
                              const VReg vx = ctx.ld1(p, &x[i]);
@@ -21,9 +27,18 @@ double dprod(Context& ctx, std::span<const double> x,
                            });
 }
 
+void dprod_record_only(Context& ctx, std::uint64_t n) {
+  record_analytic(ctx, KernelShape::Dprod, n);
+}
+
 void daxpy(Context& ctx, double a, std::span<const double> x,
            std::span<double> y) {
   V2D_REQUIRE(x.size() == y.size(), "daxpy: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Daxpy, x.size());
+    native::daxpy(a, x.data(), y.data(), x.size());
+    return;
+  }
   const VReg va = ctx.dup(a);
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
     const VReg vx = ctx.ld1(p, &x[i]);
@@ -33,6 +48,11 @@ void daxpy(Context& ctx, double a, std::span<const double> x,
 }
 
 void dscal(Context& ctx, double c, double d, std::span<double> y) {
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Dscal, y.size());
+    native::dscal(c, d, y.data(), y.size());
+    return;
+  }
   const VReg vc = ctx.dup(c);
   const VReg vd = ctx.dup(-d);
   vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
@@ -45,6 +65,11 @@ void ddaxpy(Context& ctx, double a, std::span<const double> x, double b,
             std::span<const double> y, std::span<double> z) {
   V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
               "ddaxpy: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Ddaxpy, x.size());
+    native::ddaxpy(a, x.data(), b, y.data(), z.data(), x.size());
+    return;
+  }
   const VReg va = ctx.dup(a);
   const VReg vb = ctx.dup(b);
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
@@ -59,6 +84,11 @@ void ddaxpy(Context& ctx, double a, std::span<const double> x, double b,
 void xpby(Context& ctx, std::span<const double> x, double b,
           std::span<double> y) {
   V2D_REQUIRE(x.size() == y.size(), "xpby: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Xpby, x.size());
+    native::xpby(x.data(), b, y.data(), x.size());
+    return;
+  }
   const VReg vb = ctx.dup(b);
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
     const VReg vx = ctx.ld1(p, &x[i]);
@@ -69,12 +99,22 @@ void xpby(Context& ctx, std::span<const double> x, double b,
 
 void copy(Context& ctx, std::span<const double> x, std::span<double> y) {
   V2D_REQUIRE(x.size() == y.size(), "copy: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Copy, x.size());
+    native::copy(x.data(), y.data(), x.size());
+    return;
+  }
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
     ctx.st1(p, &y[i], ctx.ld1(p, &x[i]));
   });
 }
 
 void fill(Context& ctx, double a, std::span<double> y) {
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Fill, y.size());
+    native::fill(a, y.data(), y.size());
+    return;
+  }
   const VReg va = ctx.dup(a);
   vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
     ctx.st1(p, &y[i], va);
@@ -85,6 +125,11 @@ void sub(Context& ctx, std::span<const double> x, std::span<const double> y,
          std::span<double> z) {
   V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
               "sub: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Sub, x.size());
+    native::sub(x.data(), y.data(), z.data(), x.size());
+    return;
+  }
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
     const VReg vx = ctx.ld1(p, &x[i]);
     const VReg vy = ctx.ld1(p, &y[i]);
@@ -96,6 +141,11 @@ void hadamard(Context& ctx, std::span<const double> x,
               std::span<const double> y, std::span<double> z) {
   V2D_REQUIRE(x.size() == y.size() && y.size() == z.size(),
               "hadamard: length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::Hadamard, x.size());
+    native::hadamard(x.data(), y.data(), z.data(), x.size());
+    return;
+  }
   vla::strip_mine(ctx, x.size(), [&](std::uint64_t i, const Predicate& p) {
     const VReg vx = ctx.ld1(p, &x[i]);
     const VReg vy = ctx.ld1(p, &y[i]);
@@ -112,6 +162,12 @@ void stencil_row(Context& ctx, std::span<const double> cc,
   V2D_REQUIRE(cc.size() == n && cw.size() == n && ce.size() == n &&
                   cs.size() == n && cn.size() == n,
               "stencil_row: coefficient length mismatch");
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::StencilRow, n);
+    native::stencil_row(cc.data(), cw.data(), ce.data(), cs.data(), cn.data(),
+                        xc, xs, xn, y.data(), n);
+    return;
+  }
   vla::strip_mine(ctx, n, [&](std::uint64_t i, const Predicate& p) {
     const VReg vcc = ctx.ld1(p, &cc[i]);
     const VReg vxc = ctx.ld1(p, xc + i);
@@ -134,6 +190,11 @@ void stencil_row(Context& ctx, std::span<const double> cc,
 
 void coupling_row(Context& ctx, std::span<const double> csp, const double* xo,
                   std::span<double> y) {
+  if (ctx.native()) {
+    record_analytic(ctx, KernelShape::CouplingRow, y.size());
+    native::coupling_row(csp.data(), xo, y.data(), y.size());
+    return;
+  }
   vla::strip_mine(ctx, y.size(), [&](std::uint64_t i, const Predicate& p) {
     const VReg vc = ctx.ld1(p, &csp[i]);
     const VReg vx = ctx.ld1(p, xo + i);

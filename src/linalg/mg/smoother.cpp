@@ -1,7 +1,7 @@
 #include "linalg/mg/smoother.hpp"
 
+#include "linalg/mg/mg_kernels.hpp"
 #include "support/error.hpp"
-#include "vla/loops.hpp"
 
 namespace v2d::linalg::mg {
 
@@ -15,25 +15,16 @@ void diag_correct(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
   const auto& dec = x.field().decomp();
   for (int rank = 0; rank < dec.nranks(); ++rank) {
     const grid::TileExtent& e = dec.extent(rank);
-    const auto n = static_cast<std::uint64_t>(e.ni);
+    const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < x.ns(); ++s) {
       grid::TileView dv = dinv.view(rank, s);
       grid::TileView rv = r.field().view(rank, s);
       grid::TileView xv = x.field().view(rank, s);
-      const vla::VReg w = ctx.vctx.dup(omega);
       for (int lj = 0; lj < e.nj; ++lj) {
-        const double* dr = dv.row(lj);
-        const double* rr = rv.row(lj);
-        double* xr = xv.row(lj);
-        vla::strip_mine(ctx.vctx, n,
-                        [&](std::uint64_t i, const vla::Predicate& p) {
-                          const vla::VReg t = ctx.vctx.mul(
-                              p, ctx.vctx.ld1(p, dr + i),
-                              ctx.vctx.ld1(p, rr + i));
-                          ctx.vctx.st1(p, xr + i,
-                                       ctx.vctx.fma(p, w, t,
-                                                    ctx.vctx.ld1(p, xr + i)));
-                        });
+        diag_correct_row(ctx.vctx, omega,
+                         std::span<const double>(dv.row(lj), n),
+                         std::span<const double>(rv.row(lj), n),
+                         std::span<double>(xv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
@@ -48,23 +39,16 @@ void diag_scale(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
   const auto& dec = z.field().decomp();
   for (int rank = 0; rank < dec.nranks(); ++rank) {
     const grid::TileExtent& e = dec.extent(rank);
-    const auto n = static_cast<std::uint64_t>(e.ni);
+    const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < z.ns(); ++s) {
       grid::TileView dv = dinv.view(rank, s);
       grid::TileView rv = r.field().view(rank, s);
       grid::TileView zv = z.field().view(rank, s);
-      const vla::VReg w = ctx.vctx.dup(omega);
       for (int lj = 0; lj < e.nj; ++lj) {
-        const double* dr = dv.row(lj);
-        const double* rr = rv.row(lj);
-        double* zr = zv.row(lj);
-        vla::strip_mine(ctx.vctx, n,
-                        [&](std::uint64_t i, const vla::Predicate& p) {
-                          const vla::VReg t = ctx.vctx.mul(
-                              p, ctx.vctx.ld1(p, dr + i),
-                              ctx.vctx.ld1(p, rr + i));
-                          ctx.vctx.st1(p, zr + i, ctx.vctx.mul(p, w, t));
-                        });
+        diag_scale_row(ctx.vctx, omega,
+                       std::span<const double>(dv.row(lj), n),
+                       std::span<const double>(rv.row(lj), n),
+                       std::span<double>(zv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * z.ns();

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "linalg/mg/mg_kernels.hpp"
 #include "support/error.hpp"
-#include "vla/loops.hpp"
 
 namespace v2d::linalg::mg {
 
@@ -18,6 +18,10 @@ namespace {
 struct IndexTables {
   std::vector<std::int64_t> fm1, f0, f1, f2;  // restriction: 2c−1 … 2c+2
   std::vector<std::int64_t> near, far;        // prolongation: parent / parity
+
+  TransferTables spans() const {
+    return TransferTables{fm1, f0, f1, f2, near, far};
+  }
 };
 
 IndexTables build_tables(int coarse_ni, int fine_ni) {
@@ -70,45 +74,21 @@ void restrict_full_weighting(ExecContext& ctx, DistVector& fine,
   }
   const IndexTables tab = build_tables(max_cni, max_fni);
 
-  // Separable full-weighting factors: (1/4)·w_i·w_j with w = (1/4, 3/4).
-  const double wj[4] = {0.25, 0.75, 0.75, 0.25};
   for (int r = 0; r < cdec.nranks(); ++r) {
     const grid::TileExtent& ce = cdec.extent(r);
     const grid::TileExtent& fe = fdec.extent(r);
     V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
                     fe.ni == 2 * ce.ni && fe.nj == 2 * ce.nj,
                 "coarse tiles must be parent-aligned");
-    const auto n = static_cast<std::uint64_t>(ce.ni);
+    const auto n = static_cast<std::size_t>(ce.ni);
     for (int s = 0; s < fine.ns(); ++s) {
       grid::TileView fv = ff.view(r, s);
       grid::TileView cv = coarse.field().view(r, s);
-      const vla::VReg vq = ctx.vctx.dup(0.25);
-      const vla::VReg vt = ctx.vctx.dup(0.75);
       for (int lcj = 0; lcj < ce.nj; ++lcj) {
-        double* crow = cv.row(lcj);
-        vla::strip_mine(ctx.vctx, n, [&](std::uint64_t i,
-                                         const vla::Predicate& p) {
-          vla::VReg acc = ctx.vctx.dup(0.0);
-          for (int dj = 0; dj < 4; ++dj) {
-            const double* frow = fv.row(2 * lcj - 1 + dj);
-            const vla::VReg a = ctx.vctx.ld1_gather(
-                p, frow, std::span<const std::int64_t>(tab.fm1).subspan(i));
-            const vla::VReg b = ctx.vctx.ld1_gather(
-                p, frow, std::span<const std::int64_t>(tab.f0).subspan(i));
-            const vla::VReg c = ctx.vctx.ld1_gather(
-                p, frow, std::span<const std::int64_t>(tab.f1).subspan(i));
-            const vla::VReg d = ctx.vctx.ld1_gather(
-                p, frow, std::span<const std::int64_t>(tab.f2).subspan(i));
-            // Row value: 1/4·a + 3/4·b + 3/4·c + 1/4·d.
-            vla::VReg row = ctx.vctx.mul(p, vq, a);
-            row = ctx.vctx.fma(p, vt, b, row);
-            row = ctx.vctx.fma(p, vt, c, row);
-            row = ctx.vctx.fma(p, vq, d, row);
-            const vla::VReg w = ctx.vctx.dup(0.25 * wj[dj]);
-            acc = ctx.vctx.fma_merge(p, w, row, acc);
-          }
-          ctx.vctx.st1(p, crow + i, acc);
-        });
+        const double* frows[4] = {fv.row(2 * lcj - 1), fv.row(2 * lcj),
+                                  fv.row(2 * lcj + 1), fv.row(2 * lcj + 2)};
+        restrict_row(ctx.vctx, frows, tab.spans(),
+                     std::span<double>(cv.row(lcj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(ce.ni) * ce.nj * fine.ns();
@@ -141,35 +121,15 @@ void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
     V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
                     fe.ni == 2 * ce.ni && fe.nj == 2 * ce.nj,
                 "coarse tiles must be parent-aligned");
-    const auto n = static_cast<std::uint64_t>(fe.ni);
+    const auto n = static_cast<std::size_t>(fe.ni);
     for (int s = 0; s < fine.ns(); ++s) {
       grid::TileView cv = cf.view(r, s);
       grid::TileView fv = fine.field().view(r, s);
-      const vla::VReg vq = ctx.vctx.dup(0.25);
-      const vla::VReg vt = ctx.vctx.dup(0.75);
       for (int lfj = 0; lfj < fe.nj; ++lfj) {
         const int cj_near = lfj / 2;
         const int cj_far = cj_near + ((lfj & 1) ? 1 : -1);
-        const double* cn = cv.row(cj_near);
-        const double* cfar = cv.row(cj_far);
-        double* frow = fv.row(lfj);
-        vla::strip_mine(ctx.vctx, n, [&](std::uint64_t i,
-                                         const vla::Predicate& p) {
-          const auto near =
-              std::span<const std::int64_t>(tab.near).subspan(i);
-          const auto far = std::span<const std::int64_t>(tab.far).subspan(i);
-          // 1-D interpolation on each of the two coarse rows …
-          vla::VReg rn = ctx.vctx.mul(p, vt, ctx.vctx.ld1_gather(p, cn, near));
-          rn = ctx.vctx.fma(p, vq, ctx.vctx.ld1_gather(p, cn, far), rn);
-          vla::VReg rf =
-              ctx.vctx.mul(p, vt, ctx.vctx.ld1_gather(p, cfar, near));
-          rf = ctx.vctx.fma(p, vq, ctx.vctx.ld1_gather(p, cfar, far), rf);
-          // … then in j, and accumulate into the fine row.
-          vla::VReg y = ctx.vctx.ld1(p, frow + i);
-          y = ctx.vctx.fma(p, vt, rn, y);
-          y = ctx.vctx.fma(p, vq, rf, y);
-          ctx.vctx.st1(p, frow + i, y);
-        });
+        prolong_row_add(ctx.vctx, cv.row(cj_near), cv.row(cj_far),
+                        tab.spans(), std::span<double>(fv.row(lfj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(fe.ni) * fe.nj * fine.ns();

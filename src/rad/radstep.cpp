@@ -22,7 +22,8 @@ RadiationStepper::RadiationStepper(const grid::Grid2D& g,
       mg_options_(std::move(mg_options)),
       a_diffusion_(g, d, builder_.ns()),
       a_coupling_(g, d, builder_.ns()),
-      solver_(g, d, builder_.ns()),
+      workspace_(g, d, builder_.ns()),
+      solver_(workspace_),
       rhs_(g, d, builder_.ns()),
       e_star_(g, d, builder_.ns()),
       e_old_(g, d, builder_.ns()) {

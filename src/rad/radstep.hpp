@@ -78,6 +78,7 @@ private:
   linalg::mg::MgOptions mg_options_;
   linalg::StencilOperator a_diffusion_;
   linalg::StencilOperator a_coupling_;
+  linalg::SolverWorkspace workspace_;  ///< scratch shared across all solves
   linalg::BicgstabSolver solver_;
   linalg::DistVector rhs_, e_star_, e_old_;
 };

@@ -18,11 +18,39 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <unordered_map>
 
 #include "sim/isa.hpp"
 #include "support/error.hpp"
 
 namespace v2d::vla {
+
+/// How the VLA layer runs a kernel.
+///
+///   Interpret — the reference backend: every ld1/fma/st1 loops lane-by-lane
+///               over a VReg and records its instruction op-by-op.
+///   Native    — the fast path: kernels run as raw-pointer loops the host
+///               compiler can auto-vectorize, and the recording is produced
+///               analytically from closed-form KernelCounts formulas
+///               (memoized per Context).  Results and counts are
+///               bit-identical to the interpreter by construction; the
+///               equivalence suite (tests/test_vla_fastpath.cpp) proves it.
+enum class VlaExecMode : std::uint8_t {
+  Interpret,
+  Native,
+};
+
+inline const char* vla_exec_mode_name(VlaExecMode m) {
+  return m == VlaExecMode::Native ? "native" : "interpret";
+}
+
+inline VlaExecMode vla_exec_mode_from_name(const std::string& name) {
+  if (name == "native") return VlaExecMode::Native;
+  if (name == "interpret") return VlaExecMode::Interpret;
+  throw Error("unknown VLA exec mode '" + name +
+              "' (expected interpret|native)");
+}
 
 /// Architectural bounds for SVE vector lengths.
 inline constexpr unsigned kMinVectorBits = 128;
@@ -67,10 +95,34 @@ struct VReg {
 /// result are zero (SVE zeroing predication).
 class Context {
 public:
-  explicit Context(VectorArch arch = VectorArch{}) : arch_(arch) {}
+  explicit Context(VectorArch arch = VectorArch{},
+                   VlaExecMode mode = VlaExecMode::Interpret)
+      : arch_(arch), mode_(mode) {}
 
   unsigned lanes() const { return arch_.lanes(); }
   const VectorArch& arch() const { return arch_; }
+
+  VlaExecMode exec_mode() const { return mode_; }
+  void set_exec_mode(VlaExecMode m) { mode_ = m; }
+  /// True when kernels should take the native raw-pointer fast path.
+  bool native() const { return mode_ == VlaExecMode::Native; }
+
+  /// Fold a pre-computed recording (an analytic fast-path formula) into the
+  /// accumulated counts.  Entries must carry calls == elements == 0; those
+  /// fields belong to ExecContext::commit.
+  void add_counts(const sim::KernelCounts& c) { counts_ += c; }
+
+  /// Memoized analytic-count lookup.  `key` identifies (kernel shape, n);
+  /// the factory runs once per distinct key and its result is cached for
+  /// the lifetime of this Context, so steady-state solver iterations pay a
+  /// single hash probe per kernel call instead of per-op recording.
+  template <typename Factory>
+  const sim::KernelCounts& memo_counts(std::uint64_t key, Factory&& make) {
+    auto it = count_cache_.find(key);
+    if (it == count_cache_.end())
+      it = count_cache_.emplace(key, make()).first;
+    return it->second;
+  }
 
   /// Fold an externally-estimated instruction stream into the recording
   /// (used for work the kernel does that is not expressed through VLA
@@ -278,7 +330,10 @@ private:
   }
 
   VectorArch arch_;
+  VlaExecMode mode_ = VlaExecMode::Interpret;
   sim::KernelCounts counts_;
+  // Fast-path memo: (kernel shape, n) -> analytic counts.
+  std::unordered_map<std::uint64_t, sim::KernelCounts> count_cache_;
 };
 
 }  // namespace v2d::vla

@@ -464,5 +464,36 @@ TEST(Solvers, TrajectoryIsTilingIndependent) {
   }
 }
 
+TEST(SolverWorkspaceTest, LazySlotsAndSharingAcrossSolvers) {
+  Problem prob(20, 14, 1);
+  Rng rng(61);
+  fill_operator(prob.A, rng, /*skew=*/0.0);  // symmetric: valid for CG too
+  SolverWorkspace ws(prob.g, prob.d, 1);
+  EXPECT_EQ(ws.allocated(), 0u);  // nothing materialized before a solve
+
+  DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+  randomize(b, rng);
+  ExecContext ctx;
+  auto M = make_preconditioner("jacobi", ctx, prob.A);
+  SolveOptions opt;
+  opt.rel_tol = 1e-10;
+
+  CgSolver cg(ws);
+  x.fill(ctx, 0.0);
+  EXPECT_TRUE(cg.solve(ctx, prob.A, *M, x, b, opt).converged);
+  const std::size_t after_cg = ws.allocated();
+  EXPECT_EQ(after_cg, 4u);  // CG draws exactly slots 0..3
+
+  // A BiCGSTAB solve on the same shape reuses those four buffers and only
+  // adds its own extras; a second solve allocates nothing new.
+  BicgstabSolver bi(ws);
+  x.fill(ctx, 0.0);
+  EXPECT_TRUE(bi.solve(ctx, prob.A, *M, x, b, opt).converged);
+  EXPECT_EQ(ws.allocated(), 8u);
+  x.fill(ctx, 0.0);
+  EXPECT_TRUE(bi.solve(ctx, prob.A, *M, x, b, opt).converged);
+  EXPECT_EQ(ws.allocated(), 8u);
+}
+
 }  // namespace
 }  // namespace v2d::linalg
