@@ -45,7 +45,11 @@ int main(int argc, char** argv) {
       core::Simulation sim(cfg);
       sim.run();
       const auto led = sim.exec().merged_ledger(0);
-      const auto& ar = led.at("mpi_allreduce");
+      // Single-rank jobs record no allreduce ledger entry (the collective
+      // is free and message-less there).
+      const sim::RegionCost ar = led.has("mpi_allreduce")
+                                     ? led.at("mpi_allreduce")
+                                     : sim::RegionCost{};
       const double total = sim.elapsed(0);
       if (!ganged) classic_total = total;
       table.add_row(

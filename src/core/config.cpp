@@ -38,6 +38,9 @@ void RunConfig::register_options(Options& opt) {
   opt.add("compilers", "cray",
           "comma list of profiles: gnu,fujitsu,cray,cray-noopt,clang");
   opt.add("vector-bits", "512", "SVE vector length (128..2048)");
+  opt.add("host-threads", "0",
+          "host threads for rank-parallel execution (0 = hardware "
+          "concurrency); results are identical at any value");
   opt.add("vla-exec", "native",
           "VLA execution backend: native (fast path) | interpret (reference)");
   opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
@@ -78,6 +81,7 @@ RunConfig RunConfig::from_options(const Options& opt) {
   }
   V2D_REQUIRE(!c.compilers.empty(), "need at least one compiler profile");
   c.vector_bits = static_cast<unsigned>(opt.get_int("vector-bits"));
+  c.host_threads = static_cast<int>(opt.get_int("host-threads"));
   c.vla_exec = opt.get("vla-exec");
   (void)vla::vla_exec_mode_from_name(c.vla_exec);  // validate early
   c.checkpoint_path = opt.get("checkpoint");

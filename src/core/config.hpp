@@ -47,6 +47,11 @@ struct RunConfig {
   // --- simulated platform ---
   std::vector<std::string> compilers = {"cray"};  ///< profile short names
   unsigned vector_bits = 512;
+  /// Host threads for rank-parallel execution (0 = hardware concurrency).
+  /// Purely a host wall-clock knob: results, recordings and simulated
+  /// clocks are bit-identical at any value.  Applied to the process-wide
+  /// pool when a Simulation is constructed.
+  int host_threads = 0;
   /// VLA execution backend: "native" (raw-pointer fast path + analytic
   /// recording) or "interpret" (op-by-op reference).  Results and recorded
   /// counts are identical; native is the default because it is the one you

@@ -2,6 +2,7 @@
 
 #include "io/h5lite.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace v2d::core {
 
@@ -37,6 +38,7 @@ Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
       // Aspect-matched domain: 2:1 box so dx1 == dx2 at 200×100.
       grid_(cfg.nx1, cfg.nx2, -1.0, 1.0, -0.5, 0.5),
       dec_(grid_, mpisim::CartTopology(cfg.nprx1, cfg.nprx2)) {
+  set_host_threads(cfg.host_threads);
   em_ = std::make_unique<mpisim::ExecModel>(
       std::move(machine), resolve_profiles(cfg.compilers), cfg.nranks());
   ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get(),

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "support/thread_pool.hpp"
+
 namespace v2d::grid {
+
+namespace {
+
+/// Concatenate per-rank transfer lists in rank order, so the returned
+/// (priceable) list is identical to the one a serial rank loop builds.
+std::vector<mpisim::Transfer> concat(
+    const std::vector<std::vector<mpisim::Transfer>>& per_rank) {
+  std::vector<mpisim::Transfer> out;
+  std::size_t total = 0;
+  for (const auto& t : per_rank) total += t.size();
+  out.reserve(total);
+  for (const auto& t : per_rank) out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+}  // namespace
 
 using mpisim::Dir;
 
@@ -99,9 +117,12 @@ std::uint64_t DistField::copy_halo_strip(int rank, int nb, Dir dir, int lo,
 }
 
 std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
-  std::vector<mpisim::Transfer> transfers;
   const auto& topo = dec_->topology();
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  // Rank-parallel: each rank writes only its own ghost strips and reads
+  // neighbours' interior strips, which no concurrent task writes.
+  std::vector<std::vector<mpisim::Transfer>> per_rank(
+      static_cast<std::size_t>(dec_->nranks()));
+  par_ranks(*dec_, [&](int r) {
     const TileExtent& e = dec_->extent(r);
     // Pull model: each rank copies its neighbours' interface strips into
     // its own ghosts; the transfer is neighbour → r.
@@ -114,40 +135,51 @@ std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
           copy_halo_strip(r, *nb, dir, 0, x1_dir ? e.nj : e.ni);
       // West/East halos are grid columns (stride = row length); they pay a
       // pack/unpack penalty in the cost model.
-      transfers.push_back(mpisim::Transfer{*nb, r, bytes, x1_dir});
+      per_rank[static_cast<std::size_t>(r)].push_back(
+          mpisim::Transfer{*nb, r, bytes, x1_dir});
     }
-  }
-  return transfers;
+  });
+  return concat(per_rank);
 }
 
 std::vector<mpisim::Transfer> DistField::exchange_ghosts_full() {
-  std::vector<mpisim::Transfer> transfers;
   const auto& topo = dec_->topology();
-  // Phase 1: x1-direction columns (interior rows only), all ranks.
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  std::vector<std::vector<mpisim::Transfer>> phase1(
+      static_cast<std::size_t>(dec_->nranks()));
+  std::vector<std::vector<mpisim::Transfer>> phase2(
+      static_cast<std::size_t>(dec_->nranks()));
+  // Phase 1: x1-direction columns (interior rows only), all ranks.  Each
+  // par_ranks call is a barrier, so phase 2 (which reads the ghost columns
+  // phase 1 wrote) never overlaps it.
+  par_ranks(*dec_, [&](int r) {
     const TileExtent& e = dec_->extent(r);
     for (const auto dir : {Dir::West, Dir::East}) {
       const auto nb = topo.neighbor(r, dir);
       if (!nb) continue;
       const std::uint64_t bytes = copy_halo_strip(r, *nb, dir, 0, e.nj);
-      transfers.push_back(mpisim::Transfer{*nb, r, bytes, /*strided=*/true});
+      phase1[static_cast<std::size_t>(r)].push_back(
+          mpisim::Transfer{*nb, r, bytes, /*strided=*/true});
     }
-  }
+  });
   // Phase 2: x2-direction rows over the *padded* width.  The neighbour's
   // interface rows already carry their x1 ghosts from phase 1, so the
   // corner values ride along.  (At the domain edge the padded strip copies
   // whatever the neighbour's physical-boundary ghosts hold; apply_bc()
   // overwrites those corners afterwards.)
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  par_ranks(*dec_, [&](int r) {
     const TileExtent& e = dec_->extent(r);
     for (const auto dir : {Dir::South, Dir::North}) {
       const auto nb = topo.neighbor(r, dir);
       if (!nb) continue;
       const std::uint64_t bytes =
           copy_halo_strip(r, *nb, dir, -ng_, e.ni + ng_);
-      transfers.push_back(mpisim::Transfer{*nb, r, bytes, /*strided=*/false});
+      phase2[static_cast<std::size_t>(r)].push_back(
+          mpisim::Transfer{*nb, r, bytes, /*strided=*/false});
     }
-  }
+  });
+  std::vector<mpisim::Transfer> transfers = concat(phase1);
+  const std::vector<mpisim::Transfer> tail = concat(phase2);
+  transfers.insert(transfers.end(), tail.begin(), tail.end());
   return transfers;
 }
 
@@ -155,7 +187,10 @@ void DistField::apply_bc(BcKind bc) {
   const auto& topo = dec_->topology();
   const int gnx1 = grid_->nx1();
   const int gnx2 = grid_->nx2();
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  // Rank-parallel: each rank writes only its own boundary ghosts; the
+  // periodic wrap-around reads other tiles' interiors, which stay
+  // untouched during the sweep.
+  par_ranks(*dec_, [&](int r) {
     const TileExtent& e = dec_->extent(r);
     const bool at_w = e.i0 == 0;
     const bool at_e = e.i0 + e.ni == gnx1;
@@ -215,14 +250,14 @@ void DistField::apply_bc(BcKind bc) {
         }
       }
     }
-  }
+  });
   (void)topo;
 }
 
 std::vector<double> DistField::gather_global() const {
   std::vector<double> out(static_cast<std::size_t>(ns_) * grid_->nx1() *
                           grid_->nx2());
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  par_ranks(*dec_, [&](int r) {
     const TileExtent& e = dec_->extent(r);
     for (int s = 0; s < ns_; ++s) {
       const TileView v = view(r, s);
@@ -233,7 +268,7 @@ std::vector<double> DistField::gather_global() const {
         }
       }
     }
-  }
+  });
   return out;
 }
 

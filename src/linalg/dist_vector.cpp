@@ -28,35 +28,37 @@ template <typename RowOp>
 void DistVector::for_each_row(ExecContext& ctx, KernelFamily family,
                               const std::string& region, int arrays,
                               RowOp&& op) {
-  for (int r = 0; r < nranks(); ++r) {
+  par_ranks(ctx, field_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = field_.decomp().extent(r);
     for (int s = 0; s < ns(); ++s) {
       for (int lj = 0; lj < e.nj; ++lj) {
-        op(r, s, lj, static_cast<std::size_t>(e.ni));
+        op(rctx, r, s, lj, static_cast<std::size_t>(e.ni));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns();
-    ctx.commit(r, family, region, elements, working_set(r, arrays));
-  }
+    rctx.commit(r, family, region, elements, working_set(r, arrays));
+  });
 }
 
 void DistVector::daxpy(ExecContext& ctx, double a, const DistVector& x) {
   require_same_shape(*this, x);
   for_each_row(ctx, KernelFamily::Daxpy, "daxpy", 2,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
                      const_cast<DistVector&>(x).field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
-                 linalg::daxpy(ctx.vctx, a, std::span<const double>(xv.row(lj), n),
+                 linalg::daxpy(rctx.vctx, a,
+                               std::span<const double>(xv.row(lj), n),
                                std::span<double>(yv.row(lj), n));
                });
 }
 
 void DistVector::dscal(ExecContext& ctx, double c, double d) {
   for_each_row(ctx, KernelFamily::Dscal, "dscal", 1,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
-                 linalg::dscal(ctx.vctx, c, d, std::span<double>(yv.row(lj), n));
+                 linalg::dscal(rctx.vctx, c, d,
+                               std::span<double>(yv.row(lj), n));
                });
 }
 
@@ -65,13 +67,13 @@ void DistVector::ddaxpy(ExecContext& ctx, double a, const DistVector& x,
   require_same_shape(*this, x);
   require_same_shape(*this, y);
   for_each_row(ctx, KernelFamily::Ddaxpy, "ddaxpy", 3,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
                      const_cast<DistVector&>(x).field().view(r, s);
                  grid::TileView yv =
                      const_cast<DistVector&>(y).field().view(r, s);
                  grid::TileView zv = field_.view(r, s);
-                 linalg::ddaxpy(ctx.vctx, a,
+                 linalg::ddaxpy(rctx.vctx, a,
                                 std::span<const double>(xv.row(lj), n), b,
                                 std::span<const double>(yv.row(lj), n),
                                 std::span<double>(zv.row(lj), n));
@@ -81,32 +83,34 @@ void DistVector::ddaxpy(ExecContext& ctx, double a, const DistVector& x,
 void DistVector::xpby(ExecContext& ctx, const DistVector& x, double b) {
   require_same_shape(*this, x);
   for_each_row(ctx, KernelFamily::VecMisc, "xpby", 2,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
                      const_cast<DistVector&>(x).field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
-                 linalg::xpby(ctx.vctx, std::span<const double>(xv.row(lj), n),
-                              b, std::span<double>(yv.row(lj), n));
+                 linalg::xpby(rctx.vctx,
+                              std::span<const double>(xv.row(lj), n), b,
+                              std::span<double>(yv.row(lj), n));
                });
 }
 
 void DistVector::copy_from(ExecContext& ctx, const DistVector& x) {
   require_same_shape(*this, x);
   for_each_row(ctx, KernelFamily::VecMisc, "copy", 2,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
                      const_cast<DistVector&>(x).field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
-                 linalg::copy(ctx.vctx, std::span<const double>(xv.row(lj), n),
+                 linalg::copy(rctx.vctx,
+                              std::span<const double>(xv.row(lj), n),
                               std::span<double>(yv.row(lj), n));
                });
 }
 
 void DistVector::fill(ExecContext& ctx, double a) {
   for_each_row(ctx, KernelFamily::VecMisc, "fill", 1,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
-                 linalg::fill(ctx.vctx, a, std::span<double>(yv.row(lj), n));
+                 linalg::fill(rctx.vctx, a, std::span<double>(yv.row(lj), n));
                });
 }
 
@@ -115,13 +119,14 @@ void DistVector::assign_sub(ExecContext& ctx, const DistVector& x,
   require_same_shape(*this, x);
   require_same_shape(*this, y);
   for_each_row(ctx, KernelFamily::VecMisc, "sub", 3,
-               [&](int r, int s, int lj, std::size_t n) {
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
                      const_cast<DistVector&>(x).field().view(r, s);
                  grid::TileView yv =
                      const_cast<DistVector&>(y).field().view(r, s);
                  grid::TileView zv = field_.view(r, s);
-                 linalg::sub(ctx.vctx, std::span<const double>(xv.row(lj), n),
+                 linalg::sub(rctx.vctx,
+                             std::span<const double>(xv.row(lj), n),
                              std::span<const double>(yv.row(lj), n),
                              std::span<double>(zv.row(lj), n));
                });
@@ -137,19 +142,27 @@ std::vector<double> DistVector::dot_ganged(ExecContext& ctx,
                                            std::span<const DotPair> pairs) {
   V2D_REQUIRE(!pairs.empty(), "dot_ganged: no pairs");
   const DistVector& first = *pairs[0].x;
+  for (const DotPair& pr : pairs) {
+    require_same_shape(*pr.x, *pr.y);
+    require_same_shape(*pr.x, first);
+  }
   // Compensated accumulation makes the result independent of the tiling
   // (see support/dd.hpp); the VLA recording below still prices the
   // ordinary strip-mined DPROD the hardware would run.  The compensated
   // sum is the result in both exec modes, so on the fast path the
   // interpreted DPROD is skipped entirely and only its analytic recording
-  // is kept — execution and recording fully decoupled.
+  // is kept — execution and recording fully decoupled.  Ranks accumulate
+  // into private partials merged in rank order afterwards, so the result
+  // is also independent of the host-thread count.
   const bool fast = ctx.vctx.native();
-  std::vector<DdAccumulator> totals(pairs.size());
-  for (int r = 0; r < first.nranks(); ++r) {
+  const int nranks = first.nranks();
+  std::vector<std::vector<DdAccumulator>> partial(
+      static_cast<std::size_t>(nranks),
+      std::vector<DdAccumulator>(pairs.size()));
+  par_ranks(ctx, first, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = first.field().decomp().extent(r);
+    auto& acc = partial[static_cast<std::size_t>(r)];
     for (std::size_t k = 0; k < pairs.size(); ++k) {
-      require_same_shape(*pairs[k].x, *pairs[k].y);
-      require_same_shape(*pairs[k].x, first);
       for (int s = 0; s < first.ns(); ++s) {
         grid::TileView xv =
             const_cast<DistVector*>(pairs[k].x)->field().view(r, s);
@@ -157,27 +170,33 @@ std::vector<double> DistVector::dot_ganged(ExecContext& ctx,
             const_cast<DistVector*>(pairs[k].y)->field().view(r, s);
         for (int lj = 0; lj < e.nj; ++lj) {
           if (fast) {
-            linalg::dprod_record_only(ctx.vctx,
+            linalg::dprod_record_only(rctx.vctx,
                                       static_cast<std::uint64_t>(e.ni));
           } else {
             (void)linalg::dprod(
-                ctx.vctx,
-                std::span<const double>(xv.row(lj), static_cast<std::size_t>(e.ni)),
-                std::span<const double>(yv.row(lj), static_cast<std::size_t>(e.ni)));
+                rctx.vctx,
+                std::span<const double>(xv.row(lj),
+                                        static_cast<std::size_t>(e.ni)),
+                std::span<const double>(yv.row(lj),
+                                        static_cast<std::size_t>(e.ni)));
           }
           const double* xr = xv.row(lj);
           const double* yr = yv.row(lj);
-          for (int li = 0; li < e.ni; ++li) totals[k].add(xr[li] * yr[li]);
+          for (int li = 0; li < e.ni; ++li) acc[k].add(xr[li] * yr[li]);
         }
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj *
                           first.ns() * pairs.size();
-    ctx.commit(r, KernelFamily::Dprod, "dprod", elements,
-               first.working_set(r, 2 * static_cast<int>(pairs.size())));
-  }
+    rctx.commit(r, KernelFamily::Dprod, "dprod", elements,
+                first.working_set(r, 2 * static_cast<int>(pairs.size())));
+  });
   // One ganged allreduce for all inner products in the gang.
   ctx.allreduce(pairs.size() * sizeof(double));
+  std::vector<DdAccumulator> totals(pairs.size());
+  for (int r = 0; r < nranks; ++r)
+    for (std::size_t k = 0; k < pairs.size(); ++k)
+      totals[k].add(partial[static_cast<std::size_t>(r)][k]);
   std::vector<double> out(pairs.size());
   for (std::size_t k = 0; k < pairs.size(); ++k) out[k] = totals[k].value();
   return out;

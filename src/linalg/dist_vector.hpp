@@ -4,9 +4,10 @@
 ///
 /// A DistVector is an ns-species grid-shaped vector (one DistField) plus
 /// the instrumented BLAS-level operations of the paper's Table II.  Every
-/// operation loops rank-by-rank over tile rows, runs the VLA kernel, and
-/// commits one priced call per rank, so per-rank clocks advance exactly
-/// with the work each simulated processor does.
+/// operation runs one task per simulated rank (concurrently on the host
+/// pool — see par_ranks) over that rank's tile rows, runs the VLA kernel,
+/// and commits one priced call per rank, so per-rank clocks advance
+/// exactly with the work each simulated processor does.
 
 #include <cstdint>
 #include <span>

@@ -13,6 +13,7 @@
 
 #include "compiler/profile.hpp"
 #include "mpisim/exec_model.hpp"
+#include "support/thread_pool.hpp"
 #include "vla/vla.hpp"
 
 namespace v2d::linalg {
@@ -25,6 +26,14 @@ struct ExecContext {
   explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr,
                        vla::VlaExecMode mode = vla::VlaExecMode::Interpret)
       : vctx(arch, mode), em(model) {}
+  ExecContext(vla::Context v, mpisim::ExecModel* model)
+      : vctx(std::move(v)), em(model) {}
+
+  /// Rank-local child context for par_ranks: shares the pricer and the
+  /// analytic count cache, with a private recording accumulator so
+  /// concurrent rank tasks keep their instruction streams separate.
+  /// Allocation-free beyond a shared_ptr bump — runs once per rank task.
+  ExecContext fork() const { return ExecContext(vctx.fork(), em); }
 
   /// Flush the recording accumulated since the last commit as one kernel
   /// call by `rank` touching a `working_set_bytes` footprint.
@@ -84,5 +93,24 @@ struct ExecContext {
     if (em != nullptr) em->exchange(transfers, region);
   }
 };
+
+/// Run `fn(rank, rank_ctx)` for every simulated rank of `dec` (anything
+/// with nranks()), concurrently on the host pool when it has more than one
+/// lane.  Each task gets a fork()ed ExecContext — private recording,
+/// shared count cache — so per-rank commits stay correctly attributed.
+/// Safe whenever ranks touch disjoint tiles, which every V2D rank loop
+/// guarantees; ExecModel::kernel writes only the committing rank's clock
+/// and ledger slots.  Collective pricing (exchange/allreduce) must stay
+/// outside — those are serial barrier points.  Results are bit-identical
+/// to the serial loop: tasks share no mutable state, and the forked-
+/// context path is taken even at one host thread so only execution order
+/// varies with the thread count.
+template <typename Dec, typename Fn>
+void par_ranks(ExecContext& ctx, const Dec& dec, Fn&& fn) {
+  parallel_for(dec.nranks(), [&](int r) {
+    ExecContext rctx = ctx.fork();
+    fn(r, rctx);
+  });
+}
 
 }  // namespace v2d::linalg

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -49,7 +50,7 @@ void galerkin_coarsen(ExecContext& ctx, const StencilOperator& fineA,
   auto& ff = const_cast<StencilOperator&>(fineA);
   const auto& cdec = coarseA.decomp();
   const auto& fdec = fineA.decomp();
-  for (int r = 0; r < cdec.nranks(); ++r) {
+  par_ranks(ctx, cdec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& ce = cdec.extent(r);
     const grid::TileExtent& fe = fdec.extent(r);
     V2D_REQUIRE(fe.ni == 2 * ce.ni && fe.nj == 2 * ce.nj,
@@ -83,9 +84,9 @@ void galerkin_coarsen(ExecContext& ctx, const StencilOperator& fineA,
     const auto elements = static_cast<std::uint64_t>(ce.ni) * ce.nj *
                           static_cast<std::uint64_t>(fineA.ns());
     // ~16 flops/zone over 20 reads, 5 writes.
-    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
-                         16, 160, 40, elements * 200);
-  }
+    rctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
+                          16, 160, 40, elements * 200);
+  });
 }
 
 /// Fill dinv = 1/diag(A) and return the Gershgorin bound on λ(D⁻¹A).
@@ -93,8 +94,11 @@ double invert_diagonal(ExecContext& ctx, const StencilOperator& A,
                        grid::DistField& dinv) {
   auto& a = const_cast<StencilOperator&>(A);
   const auto& dec = A.decomp();
-  double lam = 0.0;
-  for (int r = 0; r < dec.nranks(); ++r) {
+  // Per-rank Gershgorin partials, max-merged after the parallel region
+  // (max is order-independent, so the bound is thread-count-invariant).
+  std::vector<double> lam_rank(static_cast<std::size_t>(dec.nranks()), 0.0);
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
+    double lam = 0.0;
     const grid::TileExtent& e = dec.extent(r);
     for (int s = 0; s < A.ns(); ++s) {
       grid::TileView cc = a.cc().view(r, s), cw = a.cw().view(r, s),
@@ -124,9 +128,12 @@ double invert_diagonal(ExecContext& ctx, const StencilOperator& A,
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj *
                           static_cast<std::uint64_t>(A.ns());
-    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
-                         8, 48, 8, elements * 56);
-  }
+    rctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
+                          8, 48, 8, elements * 56);
+    lam_rank[static_cast<std::size_t>(r)] = lam;
+  });
+  double lam = 0.0;
+  for (const double l : lam_rank) lam = std::max(lam, l);
   return lam;
 }
 
@@ -159,16 +166,16 @@ MgHierarchy::MgHierarchy(ExecContext& ctx, const StencilOperator& A,
     cached->enable_coupling();
     cached->csp() = A.csp();
   }
-  for (int r = 0; r < A.decomp().nranks(); ++r) {
+  par_ranks(ctx, A.decomp(), [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = A.decomp().extent(r);
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj *
                           static_cast<std::uint64_t>(A.ns());
     // Evaluate-once: the stored-coefficient fill costs one evaluation
     // sweep (the same per-element price a single matvec would pay).
-    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
-                         kMatvecEvalFlops, kMatvecEvalDoublesRead * 8, 40,
-                         elements * 48);
-  }
+    rctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-build", elements,
+                          kMatvecEvalFlops, kMatvecEvalDoublesRead * 8, 40,
+                          elements * 48);
+  });
   levels_.push_back(std::make_unique<MgLevel>(A.grid(), A.decomp(), *cached,
                                               /*with_solution=*/false));
   levels_.back()->owned_op = std::move(cached);
@@ -233,15 +240,15 @@ MgHierarchy::MgHierarchy(ExecContext& ctx, const StencilOperator& A,
   }
   coarse_lu_ = std::make_unique<BandedLU>(coarsest.op->assemble());
   const auto n = static_cast<std::uint64_t>(coarsest.op->size());
-  for (int r = 0; r < coarsest.decomp->nranks(); ++r) {
-    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-coarse-factor", n,
-                         coarse_lu_->factor_flops() / std::max<std::uint64_t>(
-                                                          1, n),
-                         16, 16, n * 8 *
-                             static_cast<std::uint64_t>(
-                                 coarse_lu_->lower_bandwidth() +
-                                 coarse_lu_->upper_bandwidth() + 1));
-  }
+  par_ranks(ctx, *coarsest.decomp, [&](int r, ExecContext& rctx) {
+    rctx.commit_synthetic(r, KernelFamily::PrecondBuild, "mg-coarse-factor", n,
+                          coarse_lu_->factor_flops() / std::max<std::uint64_t>(
+                                                           1, n),
+                          16, 16, n * 8 *
+                              static_cast<std::uint64_t>(
+                                  coarse_lu_->lower_bandwidth() +
+                                  coarse_lu_->upper_bandwidth() + 1));
+  });
 }
 
 }  // namespace v2d::linalg::mg

@@ -49,7 +49,7 @@ void MgPrecond::coarse_solve(ExecContext& ctx, DistVector& x, DistVector& b) {
   const auto& dec = x.field().decomp();
   const grid::Grid2D& g = x.field().grid();
   const auto n = static_cast<std::uint64_t>(lu.size());
-  for (int r = 0; r < dec.nranks(); ++r) {
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     for (int s = 0; s < x.ns(); ++s) {
       grid::TileView xv = x.field().view(r, s);
@@ -60,13 +60,13 @@ void MgPrecond::coarse_solve(ExecContext& ctx, DistVector& x, DistVector& b) {
     }
     // Each rank runs the identical banded solve: ~2·(kl+ku) flops per row
     // over a (kl+ku+1)-wide band working set.
-    ctx.commit_synthetic(
+    rctx.commit_synthetic(
         r, KernelFamily::Precond, "mg-coarse-solve", n,
         lu.solve_flops() / std::max<std::uint64_t>(1, n), 32, 8,
         n * 8 *
             static_cast<std::uint64_t>(lu.lower_bandwidth() +
                                        lu.upper_bandwidth() + 1));
-  }
+  });
 }
 
 }  // namespace v2d::linalg::mg

@@ -13,7 +13,7 @@ namespace {
 void diag_correct(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
                   DistVector& x, double omega) {
   const auto& dec = x.field().decomp();
-  for (int rank = 0; rank < dec.nranks(); ++rank) {
+  par_ranks(ctx, dec, [&](int rank, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(rank);
     const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < x.ns(); ++s) {
@@ -21,23 +21,23 @@ void diag_correct(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
       grid::TileView rv = r.field().view(rank, s);
       grid::TileView xv = x.field().view(rank, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        diag_correct_row(ctx.vctx, omega,
+        diag_correct_row(rctx.vctx, omega,
                          std::span<const double>(dv.row(lj), n),
                          std::span<const double>(rv.row(lj), n),
                          std::span<double>(xv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
-    ctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
-               x.working_set(rank, 3));
-  }
+    rctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
+                x.working_set(rank, 3));
+  });
 }
 
 /// z ← ω·dinv ⊙ r   (scaled diagonal application).
 void diag_scale(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
                 DistVector& z, double omega) {
   const auto& dec = z.field().decomp();
-  for (int rank = 0; rank < dec.nranks(); ++rank) {
+  par_ranks(ctx, dec, [&](int rank, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(rank);
     const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < z.ns(); ++s) {
@@ -45,16 +45,16 @@ void diag_scale(ExecContext& ctx, grid::DistField& dinv, DistVector& r,
       grid::TileView rv = r.field().view(rank, s);
       grid::TileView zv = z.field().view(rank, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        diag_scale_row(ctx.vctx, omega,
+        diag_scale_row(rctx.vctx, omega,
                        std::span<const double>(dv.row(lj), n),
                        std::span<const double>(rv.row(lj), n),
                        std::span<double>(zv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * z.ns();
-    ctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
-               z.working_set(rank, 3));
-  }
+    rctx.commit(rank, KernelFamily::Precond, "mg-smooth", elements,
+                z.working_set(rank, 3));
+  });
 }
 
 /// r ← b − A·x, attributed to the smoother.

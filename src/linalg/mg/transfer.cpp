@@ -74,7 +74,7 @@ void restrict_full_weighting(ExecContext& ctx, DistVector& fine,
   }
   const IndexTables tab = build_tables(max_cni, max_fni);
 
-  for (int r = 0; r < cdec.nranks(); ++r) {
+  par_ranks(ctx, cdec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& ce = cdec.extent(r);
     const grid::TileExtent& fe = fdec.extent(r);
     V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
@@ -87,14 +87,14 @@ void restrict_full_weighting(ExecContext& ctx, DistVector& fine,
       for (int lcj = 0; lcj < ce.nj; ++lcj) {
         const double* frows[4] = {fv.row(2 * lcj - 1), fv.row(2 * lcj),
                                   fv.row(2 * lcj + 1), fv.row(2 * lcj + 2)};
-        restrict_row(ctx.vctx, frows, tab.spans(),
+        restrict_row(rctx.vctx, frows, tab.spans(),
                      std::span<double>(cv.row(lcj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(ce.ni) * ce.nj * fine.ns();
-    ctx.commit(r, KernelFamily::Precond, "mg-restrict", elements,
-               fine.working_set(r, 1) + coarse.working_set(r, 1));
-  }
+    rctx.commit(r, KernelFamily::Precond, "mg-restrict", elements,
+                fine.working_set(r, 1) + coarse.working_set(r, 1));
+  });
 }
 
 void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
@@ -115,7 +115,7 @@ void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
   }
   const IndexTables tab = build_tables(max_cni, max_fni);
 
-  for (int r = 0; r < fdec.nranks(); ++r) {
+  par_ranks(ctx, fdec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& fe = fdec.extent(r);
     const grid::TileExtent& ce = cdec.extent(r);
     V2D_REQUIRE(fe.i0 == 2 * ce.i0 && fe.j0 == 2 * ce.j0 &&
@@ -128,14 +128,14 @@ void prolong_bilinear_add(ExecContext& ctx, DistVector& coarse,
       for (int lfj = 0; lfj < fe.nj; ++lfj) {
         const int cj_near = lfj / 2;
         const int cj_far = cj_near + ((lfj & 1) ? 1 : -1);
-        prolong_row_add(ctx.vctx, cv.row(cj_near), cv.row(cj_far),
+        prolong_row_add(rctx.vctx, cv.row(cj_near), cv.row(cj_far),
                         tab.spans(), std::span<double>(fv.row(lfj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(fe.ni) * fe.nj * fine.ns();
-    ctx.commit(r, KernelFamily::Precond, "mg-prolong", elements,
-               fine.working_set(r, 2) + coarse.working_set(r, 1));
-  }
+    rctx.commit(r, KernelFamily::Precond, "mg-prolong", elements,
+                fine.working_set(r, 2) + coarse.working_set(r, 1));
+  });
 }
 
 }  // namespace v2d::linalg::mg

@@ -22,30 +22,30 @@ void IdentityPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
 JacobiPrecond::JacobiPrecond(ExecContext& ctx, const StencilOperator& A)
     : dinv_(A.grid(), A.decomp(), A.ns(), 1) {
   auto& cc = const_cast<StencilOperator&>(A).cc();
-  for (int r = 0; r < A.decomp().nranks(); ++r) {
+  par_ranks(ctx, A.decomp(), [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = A.decomp().extent(r);
     for (int s = 0; s < A.ns(); ++s) {
       grid::TileView c = cc.view(r, s);
       grid::TileView d = dinv_.view(r, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        const vla::VReg ones = ctx.vctx.dup(1.0);
-        vla::strip_mine(ctx.vctx, static_cast<std::uint64_t>(e.ni),
+        const vla::VReg ones = rctx.vctx.dup(1.0);
+        vla::strip_mine(rctx.vctx, static_cast<std::uint64_t>(e.ni),
                         [&](std::uint64_t i, const vla::Predicate& p) {
-                          const vla::VReg vc = ctx.vctx.ld1(p, c.row(lj) + i);
-                          ctx.vctx.st1(p, d.row(lj) + i,
-                                       ctx.vctx.div(p, ones, vc));
+                          const vla::VReg vc = rctx.vctx.ld1(p, c.row(lj) + i);
+                          rctx.vctx.st1(p, d.row(lj) + i,
+                                        rctx.vctx.div(p, ones, vc));
                         });
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * A.ns();
-    ctx.commit(r, KernelFamily::PrecondBuild, "precond-build", elements,
-               2 * elements * sizeof(double));
-  }
+    rctx.commit(r, KernelFamily::PrecondBuild, "precond-build", elements,
+                2 * elements * sizeof(double));
+  });
 }
 
 void JacobiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
   const auto& dec = x.field().decomp();
-  for (int r = 0; r < dec.nranks(); ++r) {
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < x.ns(); ++s) {
@@ -53,15 +53,15 @@ void JacobiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
       grid::TileView yv = y.field().view(r, s);
       grid::TileView dv = dinv_.view(r, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        hadamard(ctx.vctx, std::span<const double>(dv.row(lj), n),
+        hadamard(rctx.vctx, std::span<const double>(dv.row(lj), n),
                  std::span<const double>(xv.row(lj), n),
                  std::span<double>(yv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
-    ctx.commit(r, KernelFamily::Precond, "precond", elements,
-               x.working_set(r, 3));
-  }
+    rctx.commit(r, KernelFamily::Precond, "precond", elements,
+                x.working_set(r, 3));
+  });
 }
 
 // --- SPAI(0) --------------------------------------------------------------------
@@ -80,7 +80,7 @@ Spai0Precond::Spai0Precond(ExecContext& ctx, const StencilOperator& A)
   ctx.exchange(transfers, "mpi_halo");
 
   const auto& dec = A.decomp();
-  for (int r = 0; r < dec.nranks(); ++r) {
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     for (int s = 0; s < A.ns(); ++s) {
       grid::TileView cc = mutableA.cc().view(r, s);
@@ -104,14 +104,14 @@ Spai0Precond::Spai0Precond(ExecContext& ctx, const StencilOperator& A)
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * A.ns();
     // ~12 flops/zone, 5 coefficient reads, 1 write.
-    ctx.commit_synthetic(r, KernelFamily::PrecondBuild, "precond-build",
-                         elements, 12, 40, 8, elements * 48);
-  }
+    rctx.commit_synthetic(r, KernelFamily::PrecondBuild, "precond-build",
+                          elements, 12, 40, 8, elements * 48);
+  });
 }
 
 void Spai0Precond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
   const auto& dec = x.field().decomp();
-  for (int r = 0; r < dec.nranks(); ++r) {
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < x.ns(); ++s) {
@@ -119,15 +119,15 @@ void Spai0Precond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
       grid::TileView yv = y.field().view(r, s);
       grid::TileView mv = m_.view(r, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        hadamard(ctx.vctx, std::span<const double>(mv.row(lj), n),
+        hadamard(rctx.vctx, std::span<const double>(mv.row(lj), n),
                  std::span<const double>(xv.row(lj), n),
                  std::span<double>(yv.row(lj), n));
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
-    ctx.commit(r, KernelFamily::Precond, "precond", elements,
-               x.working_set(r, 3));
-  }
+    rctx.commit(r, KernelFamily::Precond, "precond", elements,
+                x.working_set(r, 3));
+  });
 }
 
 // --- SPAI(1) --------------------------------------------------------------------
@@ -187,6 +187,11 @@ SpaiPrecond::SpaiPrecond(ExecContext& ctx, const StencilOperator& A)
   const int di[5] = {0, -1, 1, 0, 0};
   const int dj[5] = {0, 0, 0, -1, 1};
 
+  // Deliberately serial: the column scatter below writes M entries into
+  // *neighbour* tiles via gset (a zone adjacent to a tile boundary owns
+  // column entries that live in the next rank's rows), so rank tasks are
+  // not disjoint and par_ranks would race.  The build runs once per solve;
+  // the hot path is apply(), which is a rank-parallel stencil sweep.
   for (int r = 0; r < dec.nranks(); ++r) {
     const grid::TileExtent& e = dec.extent(r);
     for (int s = 0; s < A.ns(); ++s) {

@@ -36,7 +36,7 @@ const grid::DistField& StencilOperator::csp() const {
 void StencilOperator::zero_boundary_coefficients() {
   const int gnx1 = grid_->nx1();
   const int gnx2 = grid_->nx2();
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  parallel_for(dec_->nranks(), [&](int r) {
     const grid::TileExtent& e = dec_->extent(r);
     for (int s = 0; s < ns_; ++s) {
       grid::TileView w = cw_.view(r, s), ev = ce_.view(r, s);
@@ -50,7 +50,7 @@ void StencilOperator::zero_boundary_coefficients() {
       if (e.j0 + e.nj == gnx2)
         for (int li = 0; li < e.ni; ++li) nv(li, e.nj - 1) = 0.0;
     }
-  }
+  });
 }
 
 void StencilOperator::apply(ExecContext& ctx, DistVector& x,
@@ -70,7 +70,7 @@ void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
   ctx.exchange(transfers);
 
   auto* self = const_cast<StencilOperator*>(this);
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     const auto n = static_cast<std::size_t>(e.ni);
     for (int s = 0; s < ns_; ++s) {
@@ -82,7 +82,7 @@ void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
       grid::TileView vcs = self->cs_.view(r, s);
       grid::TileView vcn = self->cn_.view(r, s);
       for (int lj = 0; lj < e.nj; ++lj) {
-        stencil_row(ctx.vctx, std::span<const double>(vcc.row(lj), n),
+        stencil_row(rctx.vctx, std::span<const double>(vcc.row(lj), n),
                     std::span<const double>(vcw.row(lj), n),
                     std::span<const double>(vce.row(lj), n),
                     std::span<const double>(vcs.row(lj), n),
@@ -94,7 +94,7 @@ void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
         grid::TileView vsp = self->csp_->view(r, s);
         grid::TileView xo = xf.view(r, 1 - s);
         for (int lj = 0; lj < e.nj; ++lj) {
-          coupling_row(ctx.vctx, std::span<const double>(vsp.row(lj), n),
+          coupling_row(rctx.vctx, std::span<const double>(vsp.row(lj), n),
                        xo.row(lj), std::span<double>(yv.row(lj), n));
         }
       }
@@ -103,19 +103,19 @@ void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
     if (eval_doubles_read_ > 0 || eval_flops_ > 0) {
       // On-the-fly coefficient evaluation: mostly state/table reads plus
       // a little arithmetic, per element (see kMatvecEval* docs).
-      ctx.vctx.record_external(sim::OpClass::LoadContig,
-                               elements * eval_doubles_read_,
-                               elements * eval_doubles_read_ * sizeof(double),
-                               0);
-      ctx.vctx.record_external(sim::OpClass::FlopFma,
-                               elements * eval_flops_ / 2, 0, 0);
+      rctx.vctx.record_external(sim::OpClass::LoadContig,
+                                elements * eval_doubles_read_,
+                                elements * eval_doubles_read_ * sizeof(double),
+                                0);
+      rctx.vctx.record_external(sim::OpClass::FlopFma,
+                                elements * eval_flops_ / 2, 0, 0);
     }
     // Working set: x (with ghosts), y, five coefficient arrays (+coupling).
     // The on-the-fly evaluation's table/state reads revisit the same zones
     // every sweep, so they add traffic (bytes_moved) but not footprint.
     const int arrays = 7 + (csp_ ? 1 : 0);
-    ctx.commit(r, family, region, elements, y.working_set(r, arrays));
-  }
+    rctx.commit(r, family, region, elements, y.working_set(r, arrays));
+  });
 }
 
 BandedMatrix StencilOperator::assemble() const {

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "linalg/dist_vector.hpp"
@@ -27,6 +28,10 @@ public:
 
   /// The scratch vector in `slot`, allocating it on first access.
   /// Contents persist between calls; callers must not assume zeros.
+  /// Slot materialization is mutex-guarded so concurrent par_ranks tasks
+  /// can safely reach for scratch; the *contents* of one slot are still a
+  /// single buffer whose per-rank tiles are disjoint, matching the rank
+  /// ownership of every other distributed vector.
   DistVector& vec(std::size_t slot);
 
   /// Number of slots materialized so far (observability for tests).
@@ -40,6 +45,7 @@ private:
   const grid::Grid2D* g_;
   const grid::Decomposition* d_;
   int ns_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<DistVector>> slots_;
 };
 

@@ -82,8 +82,14 @@ void ExecModel::exchange(const std::vector<Transfer>& transfers,
       busy[static_cast<std::size_t>(t.dst)] =
           std::max(busy[static_cast<std::size_t>(t.dst)], wire + pack);
       busy[static_cast<std::size_t>(t.src)] += 0.5 * wire + pack;
+      // Both endpoints participate in the message: the sender's ledger
+      // counts the bytes it injected, the receiver's the bytes that landed
+      // in its halo.  (Counting only the sender undercounted every rank's
+      // received volume.)
       msgs[static_cast<std::size_t>(t.src)] += 1;
       bytes[static_cast<std::size_t>(t.src)] += t.bytes;
+      msgs[static_cast<std::size_t>(t.dst)] += 1;
+      bytes[static_cast<std::size_t>(t.dst)] += t.bytes;
     }
     for (std::size_t r = 0; r < st.clock.size(); ++r) {
       const double wait = start[r] - snapshot[r];
@@ -97,13 +103,16 @@ void ExecModel::exchange(const std::vector<Transfer>& transfers,
 }
 
 void ExecModel::allreduce(std::uint64_t bytes, const std::string& region) {
+  // A 1-rank "allreduce" is a no-op (NetCost prices it at zero): recording
+  // a ledger entry carrying the payload bytes would put phantom
+  // communication volume into single-rank breakdowns.
+  if (placement_.nranks() <= 1) return;
   for (auto& st : state_) {
     const double t_max = *std::max_element(st.clock.begin(), st.clock.end());
     const double done = t_max + st.net.allreduce(bytes);
     for (std::size_t r = 0; r < st.clock.size(); ++r) {
       const double delta = done - st.clock[r];
-      st.ledger[r].add_comm(region, delta, placement_.nranks() > 1 ? 1u : 0u,
-                            bytes);
+      st.ledger[r].add_comm(region, delta, 1u, bytes);
       st.clock[r] = done;
     }
   }

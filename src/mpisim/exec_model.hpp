@@ -50,16 +50,21 @@ public:
   const sim::CostModel& cost_model() const { return cost_; }
   const Placement& placement() const { return placement_; }
 
-  /// Price a kernel call executed by `rank`.
+  /// Price a kernel call executed by `rank`.  Thread-safe for distinct
+  /// ranks: only `rank`'s clock and ledger slots are written (pricing
+  /// itself is const), so rank-parallel host execution may call this
+  /// concurrently from par_ranks tasks.
   void kernel(int rank, compiler::KernelFamily family,
               const std::string& region, const sim::KernelCounts& counts,
               std::uint64_t working_set_bytes);
 
   /// Price a halo-exchange phase (all transfers logically concurrent).
+  /// A serial barrier point: must not run concurrently with kernel().
   void exchange(const std::vector<Transfer>& transfers,
                 const std::string& region);
 
   /// Price a ganged allreduce of `bytes` payload; synchronizes all ranks.
+  /// A serial barrier point: must not run concurrently with kernel().
   void allreduce(std::uint64_t bytes, const std::string& region);
 
   /// Simulated wall-clock of profile p = slowest rank's clock.

@@ -15,9 +15,18 @@ double NetCost::allreduce(std::uint64_t bytes) const {
   const int p = placement_.nranks();
   if (p <= 1) return 0.0;
   const int stages = static_cast<int>(std::ceil(std::log2(p)));
-  const bool inter = placement_.nodes_used() > 1;
-  const double per_stage = latency(inter) +
-                           static_cast<double>(bytes) / stack_.bandwidth_Bps +
+  // Under block placement rank r sits on node r / cores_per_node, so the
+  // recursive-doubling partner at stage s is 2^s ranks away: the first
+  // floor(log2(cores_per_node)) stages stay inside a node and pay
+  // intra-node latency; only the later stages cross the fabric (charging
+  // inter-node latency for every stage overpriced multi-node jobs).
+  const int intra_stages =
+      placement_.nodes_used() > 1
+          ? std::min(stages,
+                     static_cast<int>(std::floor(
+                         std::log2(placement_.cores_per_node()))))
+          : stages;
+  const double per_stage = static_cast<double>(bytes) / stack_.bandwidth_Bps +
                            stack_.allreduce_stage_overhead_s;
   // Progress-engine / unexpected-message-queue cost: grows quadratically
   // with communicator size (normalized so the coefficient is the per-rank
@@ -26,7 +35,8 @@ double NetCost::allreduce(std::uint64_t bytes) const {
   const double progress = stack_.per_rank_overhead_s *
                           static_cast<double>(p) * p /
                           placement_.cores_per_node();
-  return stages * per_stage + progress;
+  return stages * per_stage + intra_stages * latency(false) +
+         (stages - intra_stages) * latency(true) + progress;
 }
 
 }  // namespace v2d::mpisim

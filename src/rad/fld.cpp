@@ -46,7 +46,7 @@ void fill_diffusion(const grid::Grid2D& g, const grid::Decomposition& dec,
                             linalg::kMatvecEvalFlops);
 
   const double c = cfg.c_light;
-  for (int r = 0; r < dec.nranks(); ++r) {
+  linalg::par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     for (int s = 0; s < ns; ++s) {
       grid::TileView ev = e_limiter.field().view(r, s);
@@ -117,9 +117,9 @@ void fill_diffusion(const grid::Grid2D& g, const grid::Decomposition& dec,
     // ~70 flops/zone (4 face limiters + geometry), ~13 doubles read, 6
     // written; branchy short loops — the Physics family prices this with
     // low vectorized fraction.
-    ctx.commit_synthetic(r, KernelFamily::Physics, "physics-assembly",
-                         elements, 70, 104, 48, elements * 152);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Physics, "physics-assembly",
+                          elements, 70, 104, 48, elements * 152);
+  });
 }
 
 }  // namespace
@@ -130,7 +130,7 @@ void FldBuilder::build_diffusion(ExecContext& ctx, DistVector& e_limiter,
   fill_diffusion(*grid_, *dec_, ns_, opacities_, config_, ctx, e_limiter, dt,
                  A);
   // rhs = (V/Δt)·Eⁿ from the time-level-n field.
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  linalg::par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     for (int s = 0; s < ns_; ++s) {
       grid::TileView ev = const_cast<DistVector&>(e_old).field().view(r, s);
@@ -143,9 +143,9 @@ void FldBuilder::build_diffusion(ExecContext& ctx, DistVector& e_limiter,
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns_;
-    ctx.commit_synthetic(r, KernelFamily::Physics, "physics-rhs", elements, 2,
-                         8, 8, elements * 16);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Physics, "physics-rhs", elements, 2,
+                          8, 8, elements * 16);
+  });
 }
 
 void FldBuilder::build_coupling(ExecContext& ctx, DistVector& e_limiter,
@@ -159,7 +159,7 @@ void FldBuilder::build_coupling(ExecContext& ctx, DistVector& e_limiter,
   const double c = config_.c_light;
   const double kx = config_.exchange_kappa;
   auto* self = const_cast<FldBuilder*>(this);
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  linalg::par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     grid::TileView tv = self->temp_.view(r, 0);
     for (int s = 0; s < ns_; ++s) {
@@ -183,15 +183,15 @@ void FldBuilder::build_coupling(ExecContext& ctx, DistVector& e_limiter,
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns_;
-    ctx.commit_synthetic(r, KernelFamily::Physics, "physics-coupling",
-                         elements, 12, 32, 24, elements * 56);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Physics, "physics-coupling",
+                          elements, 12, 32, 24, elements * 56);
+  });
 }
 
 void FldBuilder::update_temperature(ExecContext& ctx,
                                     const DistVector& e_new, double dt) {
   const double c = config_.c_light;
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  linalg::par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     grid::TileView tv = temp_.view(r, 0);
     grid::TileView rv = rho_.view(r, 0);
@@ -219,9 +219,9 @@ void FldBuilder::update_temperature(ExecContext& ctx,
       }
     }
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj;
-    ctx.commit_synthetic(r, KernelFamily::Physics, "physics-temperature",
-                         elements, 16, 32, 8, elements * 40);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Physics, "physics-temperature",
+                          elements, 16, 32, 8, elements * 40);
+  });
 }
 
 }  // namespace v2d::rad

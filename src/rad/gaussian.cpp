@@ -1,11 +1,13 @@
 #include "rad/gaussian.hpp"
 
+#include "support/thread_pool.hpp"
+
 namespace v2d::rad {
 
 void GaussianPulse::fill(linalg::DistVector& e, double t) const {
   const grid::Grid2D& g = e.field().grid();
   const auto& dec = e.field().decomp();
-  for (int r = 0; r < dec.nranks(); ++r) {
+  par_ranks(dec, [&](int r) {
     const grid::TileExtent& ext = dec.extent(r);
     for (int s = 0; s < e.ns(); ++s) {
       grid::TileView v = e.field().view(r, s);
@@ -15,16 +17,20 @@ void GaussianPulse::fill(linalg::DistVector& e, double t) const {
         }
       }
     }
-  }
+  });
 }
 
 double GaussianPulse::rel_l2_error(const linalg::DistVector& e,
                                    double t) const {
   const grid::Grid2D& g = e.field().grid();
   const auto& dec = e.field().decomp();
-  double num = 0.0, den = 0.0;
-  for (int r = 0; r < dec.nranks(); ++r) {
+  // Per-rank partial sums combined in rank order: the result does not
+  // depend on the host-thread count.
+  std::vector<double> num_r(static_cast<std::size_t>(dec.nranks()), 0.0);
+  std::vector<double> den_r(static_cast<std::size_t>(dec.nranks()), 0.0);
+  par_ranks(dec, [&](int r) {
     const grid::TileExtent& ext = dec.extent(r);
+    double num = 0.0, den = 0.0;
     for (int s = 0; s < e.ns(); ++s) {
       const grid::TileView v = e.field().view(r, s);
       for (int lj = 0; lj < ext.nj; ++lj) {
@@ -37,6 +43,13 @@ double GaussianPulse::rel_l2_error(const linalg::DistVector& e,
         }
       }
     }
+    num_r[static_cast<std::size_t>(r)] = num;
+    den_r[static_cast<std::size_t>(r)] = den;
+  });
+  double num = 0.0, den = 0.0;
+  for (std::size_t r = 0; r < num_r.size(); ++r) {
+    num += num_r[r];
+    den += den_r[r];
   }
   return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
 }
@@ -44,9 +57,10 @@ double GaussianPulse::rel_l2_error(const linalg::DistVector& e,
 double GaussianPulse::total_energy(const linalg::DistVector& e) {
   const grid::Grid2D& g = e.field().grid();
   const auto& dec = e.field().decomp();
-  double total = 0.0;
-  for (int r = 0; r < dec.nranks(); ++r) {
+  std::vector<double> total_r(static_cast<std::size_t>(dec.nranks()), 0.0);
+  par_ranks(dec, [&](int r) {
     const grid::TileExtent& ext = dec.extent(r);
+    double total = 0.0;
     for (int s = 0; s < e.ns(); ++s) {
       const grid::TileView v = e.field().view(r, s);
       for (int lj = 0; lj < ext.nj; ++lj) {
@@ -55,7 +69,10 @@ double GaussianPulse::total_energy(const linalg::DistVector& e) {
         }
       }
     }
-  }
+    total_r[static_cast<std::size_t>(r)] = total;
+  });
+  double total = 0.0;
+  for (const double v : total_r) total += v;
   return total;
 }
 

@@ -17,6 +17,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -97,10 +100,18 @@ class Context {
 public:
   explicit Context(VectorArch arch = VectorArch{},
                    VlaExecMode mode = VlaExecMode::Interpret)
-      : arch_(arch), mode_(mode) {}
+      : arch_(arch), mode_(mode),
+        count_cache_(std::make_shared<CountCache>()) {}
 
   unsigned lanes() const { return arch_.lanes(); }
   const VectorArch& arch() const { return arch_; }
+
+  /// Child context for rank-parallel host execution: same VL and exec
+  /// mode, sharing this context's (read-mostly, lock-guarded) analytic
+  /// count cache, but with a private recording accumulator so concurrent
+  /// rank tasks never interleave their instruction streams.  Allocation-
+  /// free beyond the shared_ptr bump — fork() runs once per rank task.
+  Context fork() const { return Context(arch_, mode_, count_cache_); }
 
   VlaExecMode exec_mode() const { return mode_; }
   void set_exec_mode(VlaExecMode m) { mode_ = m; }
@@ -114,14 +125,24 @@ public:
 
   /// Memoized analytic-count lookup.  `key` identifies (kernel shape, n);
   /// the factory runs once per distinct key and its result is cached for
-  /// the lifetime of this Context, so steady-state solver iterations pay a
-  /// single hash probe per kernel call instead of per-op recording.
+  /// the lifetime of this Context *and all its forks*, so steady-state
+  /// solver iterations pay a single hash probe per kernel call instead of
+  /// per-op recording.  The cache is read-mostly and shared across the
+  /// fork family; a shared_mutex makes concurrent rank tasks safe.  A
+  /// duplicate concurrent miss just recomputes the same deterministic
+  /// value, and returned references stay valid because unordered_map
+  /// never relocates elements.
   template <typename Factory>
   const sim::KernelCounts& memo_counts(std::uint64_t key, Factory&& make) {
-    auto it = count_cache_.find(key);
-    if (it == count_cache_.end())
-      it = count_cache_.emplace(key, make()).first;
-    return it->second;
+    CountCache& cache = *count_cache_;
+    {
+      std::shared_lock<std::shared_mutex> lk(cache.mu);
+      auto it = cache.map.find(key);
+      if (it != cache.map.end()) return it->second;
+    }
+    sim::KernelCounts made = make();
+    std::unique_lock<std::shared_mutex> lk(cache.mu);
+    return cache.map.try_emplace(key, made).first->second;
   }
 
   /// Fold an externally-estimated instruction stream into the recording
@@ -329,11 +350,21 @@ private:
     counts_.record(c, active);
   }
 
+  // Fast-path memo: (kernel shape, n) -> analytic counts.  Shared across
+  // fork()ed contexts; read-mostly, guarded for rank-parallel execution.
+  struct CountCache {
+    std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, sim::KernelCounts> map;
+  };
+
+  Context(VectorArch arch, VlaExecMode mode,
+          std::shared_ptr<CountCache> cache)
+      : arch_(arch), mode_(mode), count_cache_(std::move(cache)) {}
+
   VectorArch arch_;
   VlaExecMode mode_ = VlaExecMode::Interpret;
   sim::KernelCounts counts_;
-  // Fast-path memo: (kernel shape, n) -> analytic counts.
-  std::unordered_map<std::uint64_t, sim::KernelCounts> count_cache_;
+  std::shared_ptr<CountCache> count_cache_;
 };
 
 }  // namespace v2d::vla

@@ -147,6 +147,39 @@ TEST(DistFieldTest, FullExchangeFillsCornerGhosts) {
   EXPECT_DOUBLE_EQ(v8(e8.ni, e8.nj), 0.0);
 }
 
+TEST(DistFieldTest, FullExchangeCornerTransferStructure) {
+  // exchange_ghosts_full delivers corner values with NO diagonal messages:
+  // the transfer list must hold exactly the face transfers of the plain
+  // exchange — x1 columns first (phase 1), then x2 rows widened by the
+  // ghost padding so the corners ride along (phase 2).
+  const Grid2D g(12, 12, 0, 1, 0, 1);
+  const Decomposition d(g, mpisim::CartTopology(3, 3));
+  DistField f(g, d, 1, 1);
+  const auto transfers = f.exchange_ghosts_full();
+  // 3x3 tiles: 6 vertical interfaces -> 12 directed x1 transfers, 6
+  // horizontal interfaces -> 12 directed x2 transfers.
+  ASSERT_EQ(transfers.size(), 24u);
+  std::size_t n_strided = 0, n_contig = 0;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    const auto& t = transfers[i];
+    const TileExtent& e = d.extent(t.dst);
+    if (t.strided) {
+      // Phase-1 column: interior rows only, and phase 1 precedes phase 2.
+      EXPECT_LT(i, 12u);
+      EXPECT_EQ(t.bytes, static_cast<std::uint64_t>(e.nj) * sizeof(double));
+      ++n_strided;
+    } else {
+      // Phase-2 row over the padded width ni + 2*ng.
+      EXPECT_GE(i, 12u);
+      EXPECT_EQ(t.bytes,
+                static_cast<std::uint64_t>(e.ni + 2) * sizeof(double));
+      ++n_contig;
+    }
+  }
+  EXPECT_EQ(n_strided, 12u);
+  EXPECT_EQ(n_contig, 12u);
+}
+
 TEST(DistFieldTest, StridedFlagOnX1Halos) {
   const Grid2D g(8, 8, 0, 1, 0, 1);
   const Decomposition d(g, mpisim::CartTopology(2, 2));

@@ -100,6 +100,71 @@ compiler::MpiStackModel test_stack() {
   return s;
 }
 
+TEST(NetCostTest, EagerBoundaryIsInclusive) {
+  // Exactly kEagerLimit bytes still prices eager; one byte more adds the
+  // rendezvous handshake round-trip — intra- and inter-node.
+  const Placement p(50);  // ranks 0,1 share node 0; rank 49 is on node 1
+  const NetCost n(test_stack(), p);
+  const double bw_byte = 1.0 / test_stack().bandwidth_Bps;
+  for (const int dst : {1, 49}) {
+    const bool inter = !p.same_node(0, dst);
+    const double lat = inter ? test_stack().latency_inter_node_s
+                             : test_stack().latency_intra_node_s;
+    const double at_limit = n.pt2pt(0, dst, NetCost::kEagerLimit);
+    const double over_limit = n.pt2pt(0, dst, NetCost::kEagerLimit + 1);
+    EXPECT_DOUBLE_EQ(at_limit,
+                     lat + static_cast<double>(NetCost::kEagerLimit) *
+                               bw_byte);
+    EXPECT_DOUBLE_EQ(over_limit,
+                     2.0 * lat +
+                         static_cast<double>(NetCost::kEagerLimit + 1) *
+                             bw_byte);
+  }
+}
+
+TEST(NetCostTest, AllreduceSplitsStageLatencyByStageIndex) {
+  // 96 ranks over 2 nodes of 48 cores: 7 recursive-doubling stages, of
+  // which the first floor(log2(48)) = 5 exchange with partners inside the
+  // node (distance 1..16) and only the last 2 cross the fabric.
+  const compiler::MpiStackModel s = test_stack();
+  const Placement p(96);
+  ASSERT_EQ(p.nodes_used(), 2);
+  const NetCost n(s, p);
+  const std::uint64_t bytes = 64;
+  const int stages = 7;
+  const int intra = 5;
+  const double per_stage = static_cast<double>(bytes) / s.bandwidth_Bps +
+                           s.allreduce_stage_overhead_s;
+  const double progress =
+      s.per_rank_overhead_s * 96.0 * 96.0 / p.cores_per_node();
+  const double expected = stages * per_stage +
+                          intra * s.latency_intra_node_s +
+                          (stages - intra) * s.latency_inter_node_s +
+                          progress;
+  EXPECT_DOUBLE_EQ(n.allreduce(bytes), expected);
+  // The split must price below the old all-stages-inter-node model and
+  // above a hypothetical all-intra-node one.
+  EXPECT_LT(n.allreduce(bytes),
+            stages * (per_stage + s.latency_inter_node_s) + progress);
+  EXPECT_GT(n.allreduce(bytes),
+            stages * (per_stage + s.latency_intra_node_s) + progress);
+}
+
+TEST(NetCostTest, SingleNodeAllreduceAllIntraNode) {
+  // All stages of a one-node job pay intra-node latency only.
+  const compiler::MpiStackModel s = test_stack();
+  const Placement p(32);
+  ASSERT_EQ(p.nodes_used(), 1);
+  const NetCost n(s, p);
+  const int stages = 5;
+  const double per_stage = 16.0 / s.bandwidth_Bps +
+                           s.allreduce_stage_overhead_s +
+                           s.latency_intra_node_s;
+  const double progress =
+      s.per_rank_overhead_s * 32.0 * 32.0 / p.cores_per_node();
+  EXPECT_DOUBLE_EQ(n.allreduce(16), stages * per_stage + progress);
+}
+
 TEST(NetCostTest, EagerVsRendezvous) {
   const Placement p(2);
   const NetCost n(test_stack(), p);
@@ -189,6 +254,45 @@ TEST(ExecModelTest, ExchangeChargesBothEnds) {
   em.exchange({Transfer{0, 1, 4096, false}}, "mpi_halo");
   EXPECT_GT(em.rank_time(0, 0), 0.0);
   EXPECT_GT(em.rank_time(0, 1), 0.0);
+}
+
+TEST(ExecModelTest, ExchangeLedgersCountReceivedVolume) {
+  // One 0→1 transfer: the receiver's ledger must carry the message and
+  // its bytes too, not only the sender's (received halo volume used to
+  // vanish from per-rank breakdowns).
+  ExecModel em(sim::MachineSpec::a64fx(), two_profiles(), 2);
+  em.exchange({Transfer{0, 1, 4096, false}}, "mpi_halo");
+  for (const int r : {0, 1}) {
+    const auto& entry = em.ledger(0, r).at("mpi_halo");
+    EXPECT_EQ(entry.comm_messages, 1u) << "rank " << r;
+    EXPECT_EQ(entry.comm_bytes, 4096u) << "rank " << r;
+  }
+  // A bidirectional pair: each rank sent one and received one message.
+  ExecModel em2(sim::MachineSpec::a64fx(), two_profiles(), 2);
+  em2.exchange({Transfer{0, 1, 4096, false}, Transfer{1, 0, 2048, false}},
+               "mpi_halo");
+  for (const int r : {0, 1}) {
+    const auto& entry = em2.ledger(0, r).at("mpi_halo");
+    EXPECT_EQ(entry.comm_messages, 2u) << "rank " << r;
+    EXPECT_EQ(entry.comm_bytes, 4096u + 2048u) << "rank " << r;
+  }
+}
+
+TEST(ExecModelTest, SingleRankAllreduceLeavesLedgerClean) {
+  // NetCost::allreduce is zero at one rank; recording a payload-carrying
+  // ledger entry anyway put phantom bytes into single-rank breakdowns.
+  ExecModel em(sim::MachineSpec::a64fx(), two_profiles(), 1);
+  em.allreduce(1024, "mpi_allreduce");
+  EXPECT_FALSE(em.ledger(0, 0).has("mpi_allreduce"));
+  EXPECT_DOUBLE_EQ(em.elapsed(0), 0.0);
+  // Multi-rank jobs still record exactly one entry per rank per call.
+  ExecModel em2(sim::MachineSpec::a64fx(), two_profiles(), 2);
+  em2.allreduce(1024, "mpi_allreduce");
+  for (const int r : {0, 1}) {
+    const auto& entry = em2.ledger(0, r).at("mpi_allreduce");
+    EXPECT_EQ(entry.comm_messages, 1u);
+    EXPECT_EQ(entry.comm_bytes, 1024u);
+  }
 }
 
 TEST(ExecModelTest, StridedTransfersCostMore) {

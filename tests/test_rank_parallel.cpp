@@ -1,0 +1,223 @@
+/// \file test_rank_parallel.cpp
+/// \brief The rank-parallel host execution engine: thread-pool semantics
+/// and the bit-identical-to-serial contract.
+///
+/// Ranks own disjoint tiles and disjoint clock/ledger slots, so executing
+/// them concurrently must change *nothing* observable: fields, per-rank
+/// ledgers and simulated clocks are compared exactly (==, not near)
+/// between --host-threads 1 and 4+ runs, in both VLA exec modes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/v2d.hpp"
+#include "grid/decomp.hpp"
+#include "grid/grid2d.hpp"
+#include "linalg/dist_vector.hpp"
+#include "linalg/exec_context.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace v2d {
+namespace {
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run(1000, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  int order_ok = 1;
+  int last = -1;
+  pool.run(16, [&](int i) {
+    if (i != last + 1) order_ok = 0;
+    last = i;
+  });
+  EXPECT_EQ(order_ok, 1);  // serial fast path keeps loop order
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run(100,
+                        [&](int i) {
+                          if (i == 37) throw Error("task failure");
+                        }),
+               Error);
+  // The pool survives a failed region.
+  std::atomic<int> count{0};
+  pool.run(64, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  pool.run(4, [&](int outer) {
+    pool.run(4, [&](int inner) {
+      hits[static_cast<std::size_t>(4 * outer + inner)]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SetHostThreadsResizesGlobalPool) {
+  set_host_threads(3);
+  EXPECT_EQ(host_threads(), 3);
+  set_host_threads(0);  // restore hardware-concurrency default
+  EXPECT_GE(host_threads(), 1);
+}
+
+// --- bit-identical contract ---------------------------------------------------
+
+/// Ganged inner products accumulate per-rank partials merged in rank
+/// order, so the value cannot depend on the host-thread count.
+TEST(RankParallelTest, DotGangedInvariantUnderThreadCount) {
+  const grid::Grid2D g(48, 24, -1.0, 1.0, -0.5, 0.5);
+  const grid::Decomposition d(g, mpisim::CartTopology(4, 2));
+  linalg::DistVector x(g, d, 2), y(g, d, 2);
+  Rng rng(42);
+  for (int j = 0; j < g.nx2(); ++j) {
+    for (int i = 0; i < g.nx1(); ++i) {
+      for (int s = 0; s < 2; ++s) {
+        x.field().gset(s, i, j, rng.uniform(-1.0, 1.0));
+        y.field().gset(s, i, j, rng.uniform(-1.0, 1.0));
+      }
+    }
+  }
+  std::vector<double> reference;
+  for (const int threads : {1, 4, 7}) {
+    set_host_threads(threads);
+    linalg::ExecContext ctx(vla::VectorArch(512), nullptr,
+                            vla::VlaExecMode::Native);
+    const linalg::DistVector::DotPair pairs[2] = {{&x, &y}, {&x, &x}};
+    const auto out = linalg::DistVector::dot_ganged(
+        ctx, std::span<const linalg::DistVector::DotPair>(pairs, 2));
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      ASSERT_EQ(out.size(), reference.size());
+      for (std::size_t k = 0; k < out.size(); ++k)
+        EXPECT_EQ(out[k], reference[k]) << "threads=" << threads;
+    }
+  }
+  set_host_threads(0);
+}
+
+struct RunCapture {
+  std::vector<double> field;
+  // Per profile, per rank.
+  std::vector<std::vector<double>> clocks;
+  std::vector<std::vector<sim::CostLedger>> ledgers;
+};
+
+RunCapture run_simulation(int host_threads, const std::string& vla_exec,
+                          int steps) {
+  core::RunConfig cfg;
+  cfg.nx1 = 64;
+  cfg.nx2 = 32;
+  cfg.ns = 2;
+  cfg.steps = steps;
+  cfg.dt = 0.05;
+  cfg.nprx1 = 4;
+  cfg.nprx2 = 4;  // 16 simulated ranks
+  cfg.preconditioner = "spai0";
+  cfg.compilers = {"cray", "gnu"};
+  cfg.vla_exec = vla_exec;
+  cfg.host_threads = host_threads;
+  core::Simulation sim(cfg);
+  sim.run();
+  RunCapture out;
+  out.field = sim.radiation().field().gather_global();
+  const auto& em = sim.exec();
+  out.clocks.resize(em.nprofiles());
+  out.ledgers.resize(em.nprofiles());
+  for (std::size_t p = 0; p < em.nprofiles(); ++p) {
+    for (int r = 0; r < em.nranks(); ++r) {
+      out.clocks[p].push_back(em.rank_time(p, r));
+      out.ledgers[p].push_back(em.ledger(p, r));
+    }
+  }
+  return out;
+}
+
+void expect_counts_equal(const sim::KernelCounts& a, const sim::KernelCounts& b,
+                         const std::string& where) {
+  for (std::size_t i = 0; i < sim::kNumOpClasses; ++i) {
+    EXPECT_EQ(a.instr[i], b.instr[i]) << where << " instr[" << i << "]";
+    EXPECT_EQ(a.lanes[i], b.lanes[i]) << where << " lanes[" << i << "]";
+  }
+  EXPECT_EQ(a.bytes_read, b.bytes_read) << where;
+  EXPECT_EQ(a.bytes_written, b.bytes_written) << where;
+  EXPECT_EQ(a.elements, b.elements) << where;
+  EXPECT_EQ(a.calls, b.calls) << where;
+}
+
+void expect_ledgers_equal(const sim::CostLedger& a, const sim::CostLedger& b,
+                          const std::string& where) {
+  ASSERT_EQ(a.regions().size(), b.regions().size()) << where;
+  auto ia = a.regions().begin();
+  auto ib = b.regions().begin();
+  for (; ia != a.regions().end(); ++ia, ++ib) {
+    ASSERT_EQ(ia->first, ib->first) << where;
+    const std::string at = where + "/" + ia->first;
+    const sim::RegionCost& ra = ia->second;
+    const sim::RegionCost& rb = ib->second;
+    EXPECT_EQ(ra.compute_cycles, rb.compute_cycles) << at;
+    EXPECT_EQ(ra.memory_cycles, rb.memory_cycles) << at;
+    EXPECT_EQ(ra.overhead_cycles, rb.overhead_cycles) << at;
+    EXPECT_EQ(ra.total_cycles, rb.total_cycles) << at;
+    EXPECT_EQ(ra.comm_seconds, rb.comm_seconds) << at;
+    EXPECT_EQ(ra.comm_messages, rb.comm_messages) << at;
+    EXPECT_EQ(ra.comm_bytes, rb.comm_bytes) << at;
+    expect_counts_equal(ra.counts, rb.counts, at);
+  }
+}
+
+void expect_runs_identical(const RunCapture& serial, const RunCapture& par,
+                           const std::string& label) {
+  ASSERT_EQ(serial.field.size(), par.field.size());
+  for (std::size_t i = 0; i < serial.field.size(); ++i)
+    ASSERT_EQ(serial.field[i], par.field[i])
+        << label << " field zone " << i;
+  ASSERT_EQ(serial.clocks.size(), par.clocks.size());
+  for (std::size_t p = 0; p < serial.clocks.size(); ++p) {
+    for (std::size_t r = 0; r < serial.clocks[p].size(); ++r) {
+      EXPECT_EQ(serial.clocks[p][r], par.clocks[p][r])
+          << label << " profile " << p << " rank " << r;
+      expect_ledgers_equal(serial.ledgers[p][r], par.ledgers[p][r],
+                           label + " p" + std::to_string(p) + " r" +
+                               std::to_string(r));
+    }
+  }
+}
+
+/// The acceptance criterion: a radiation run on 16 simulated ranks with
+/// --host-threads 1 vs 4+ produces identical field results, identical
+/// per-rank ledgers and identical simulated clocks.
+TEST(RankParallelTest, RadiationRunBitIdenticalAcrossHostThreads) {
+  const RunCapture serial = run_simulation(1, "native", 2);
+  const RunCapture par4 = run_simulation(4, "native", 2);
+  expect_runs_identical(serial, par4, "native@4");
+  const RunCapture par_hw = run_simulation(0, "native", 2);
+  expect_runs_identical(serial, par_hw, "native@hw");
+  set_host_threads(0);
+}
+
+TEST(RankParallelTest, InterpretModeBitIdenticalAcrossHostThreads) {
+  const RunCapture serial = run_simulation(1, "interpret", 1);
+  const RunCapture par = run_simulation(4, "interpret", 1);
+  expect_runs_identical(serial, par, "interpret@4");
+  set_host_threads(0);
+}
+
+}  // namespace
+}  // namespace v2d
