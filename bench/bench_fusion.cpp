@@ -1,0 +1,283 @@
+/// \file bench_fusion.cpp
+/// \brief Fused-vs-unfused ablation: host wall-time, simulated cycles and
+/// priced bytes for the --fuse composites.
+///
+/// Runs the same Jacobi/SPAI(0)-preconditioned CG solve on the FLD
+/// diffusion system twice per configuration — FuseMode::Off (the Table II
+/// kernel-per-pass reference) and FuseMode::On (MATVEC+DPROD, DAXPY₂,
+/// precond+ganged-dot, fused residual) — across grid sizes and the full
+/// architectural VL range.  Fusion must not change the trajectory (the
+/// solves are verified bit-identical here, not just in the tests), so
+/// every delta in the three reported currencies is pure pass-elimination:
+///
+///   host seconds      — what the build machine pays to run the numerics
+///   simulated seconds — what the modelled A64FX pays (CostModel cycles)
+///   bytes moved       — the priced traffic CostModel's roofline sees
+///
+/// Emits BENCH_fusion.json for tools/check_bench.py; the in-binary gate
+/// fails the run if, on memory-bound sizes (>= --gate-size), the host
+/// speedup drops under --gate-speedup or fusion stops reducing the
+/// simulated memory cycles and bytes.
+///
+///   ./bench_fusion [--sizes 64,128,256] [--vls 128,512,2048]
+///                  [--precond spai0] [--tol 1e-7] [--max-iter 600]
+///                  [--gate-size 256] [--gate-speedup 1.3]
+///                  [--out BENCH_fusion.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/profile.hpp"
+#include "linalg/cg.hpp"
+#include "mpisim/exec_model.hpp"
+#include "perfmon/perf_stat.hpp"
+#include "rad/fld.hpp"
+#include "rad/gaussian.hpp"
+#include "sim/machine.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace v2d;
+
+std::vector<int> parse_list(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+/// One fuse-mode leg of an ablation cell.
+struct Leg {
+  int iterations = 0;
+  double host_s = 0.0;
+  double sim_s = 0.0;
+  double mem_cycles = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::vector<double> solution;
+};
+
+Leg run_leg(int n, unsigned vl_bits, const std::string& precond,
+            linalg::FuseMode fuse, double tol, int max_iter) {
+  const grid::Grid2D g(n, n, -1.0, 1.0, -1.0, 1.0);
+  const grid::Decomposition dec(g, mpisim::CartTopology(1, 1));
+
+  rad::OpacitySet opac(1);
+  opac.absorption(0) = rad::OpacityLaw::constant(0.0);
+  opac.scattering(0) = rad::OpacityLaw::constant(10.0);
+  rad::FldConfig fld_cfg;
+  fld_cfg.include_absorption = false;
+  const rad::FldBuilder builder(g, dec, 1, opac, fld_cfg);
+
+  mpisim::ExecModel em(sim::MachineSpec::a64fx(), {compiler::cray_2103()}, 1);
+  linalg::ExecContext ctx(vla::VectorArch(vl_bits), &em,
+                          vla::VlaExecMode::Native, fuse);
+
+  linalg::DistVector e(g, dec, 1), e_old(g, dec, 1);
+  rad::GaussianPulse pulse;
+  pulse.d_coeff = 1.0 / 30.0;
+  pulse.t0 = 1.0;
+  pulse.fill(e, 0.0);
+  e_old.copy_from(ctx, e);
+
+  linalg::StencilOperator A(g, dec, 1);
+  linalg::DistVector rhs(g, dec, 1), x(g, dec, 1);
+  builder.build_diffusion(ctx, e, e_old, 0.03, A, rhs);
+  auto M = linalg::make_preconditioner(precond, ctx, A);
+
+  linalg::SolverWorkspace ws(g, dec, 1);
+  linalg::CgSolver cg(ws);
+  linalg::SolveOptions sopt;
+  sopt.rel_tol = tol;
+  sopt.max_iterations = max_iter;
+
+  Leg leg;
+  using clock = std::chrono::steady_clock;
+  // Sample 0 warms caches/allocations; of the timed samples the best is
+  // kept (the solves are bit-identical repeats, so min is the right
+  // statistic against background noise).
+  for (int sample = 0; sample < 3; ++sample) {
+    em.reset();
+    x.fill(ctx, 0.0);
+    const auto memo0 = perfmon::MemoCacheStats::of(ctx.vctx);
+    const auto t0 = clock::now();
+    const auto stats = cg.solve(ctx, A, *M, x, rhs, sopt);
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    leg.iterations = stats.iterations;
+    if (sample == 0) continue;
+    if (leg.host_s == 0.0 || s < leg.host_s) leg.host_s = s;
+    const auto memo = perfmon::MemoCacheStats::of(ctx.vctx).since(memo0);
+    leg.memo_hits = memo.hits;
+    leg.memo_misses = memo.misses;
+  }
+  leg.sim_s = em.elapsed(0);
+  const auto led = em.merged_ledger(0);
+  for (const auto& [region, cost] : led.regions()) leg.mem_cycles +=
+      cost.memory_cycles;
+  leg.bytes = led.total_bytes();
+  leg.solution = x.field().gather_global();
+  return leg;
+}
+
+struct Row {
+  int n = 0;
+  unsigned vl_bits = 0;
+  std::string precond;
+  Leg off, on;
+  bool identical = false;
+
+  double host_speedup() const { return off.host_s / on.host_s; }
+  double sim_speedup() const { return off.sim_s / on.sim_s; }
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream os(path);
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "  {\"solver\": \"cg\", \"precond\": \"%s\", \"n\": %d, "
+        "\"vl_bits\": %u, \"iters\": %d, "
+        "\"host_unfused_s\": %.6f, \"host_fused_s\": %.6f, "
+        "\"host_speedup\": %.3f, "
+        "\"sim_unfused_s\": %.6f, \"sim_fused_s\": %.6f, "
+        "\"sim_speedup\": %.3f, "
+        "\"mem_cycles_unfused\": %.0f, \"mem_cycles_fused\": %.0f, "
+        "\"bytes_unfused\": %llu, \"bytes_fused\": %llu, "
+        "\"identical\": %s, \"memo_hits\": %llu, \"memo_misses\": %llu}%s\n",
+        r.precond.c_str(), r.n, r.vl_bits, r.on.iterations, r.off.host_s,
+        r.on.host_s, r.host_speedup(), r.off.sim_s, r.on.sim_s,
+        r.sim_speedup(), r.off.mem_cycles, r.on.mem_cycles,
+        static_cast<unsigned long long>(r.off.bytes),
+        static_cast<unsigned long long>(r.on.bytes),
+        r.identical ? "true" : "false",
+        static_cast<unsigned long long>(r.on.memo_hits),
+        static_cast<unsigned long long>(r.on.memo_misses),
+        i + 1 < rows.size() ? "," : "");
+    os << buf;
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.add("sizes", "64,128,256", "comma list of square grid sizes");
+  opt.add("vls", "128,512,2048", "comma list of SVE vector lengths (bits)");
+  opt.add("precond", "spai0", "preconditioner for the CG solve");
+  opt.add("tol", "1e-7", "CG relative tolerance");
+  opt.add("max-iter", "600", "CG iteration cap");
+  opt.add("gate-size", "256", "gate rows with n >= this size");
+  opt.add("gate-speedup", "1.3", "minimum fused host speedup on gated rows");
+  opt.add("out", "BENCH_fusion.json", "JSON output path (empty = none)");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("bench_fusion");
+    return 1;
+  }
+  const std::string precond = opt.get("precond");
+  const double tol = opt.get_double("tol");
+  const int max_iter = static_cast<int>(opt.get_int("max-iter"));
+  const int gate_size = static_cast<int>(opt.get_int("gate-size"));
+  const double gate_speedup = opt.get_double("gate-speedup");
+
+  std::vector<Row> rows;
+  for (const int n : parse_list(opt.get("sizes"))) {
+    for (const int vl : parse_list(opt.get("vls"))) {
+      Row row;
+      row.n = n;
+      row.vl_bits = static_cast<unsigned>(vl);
+      row.precond = precond;
+      row.off = run_leg(n, row.vl_bits, precond, linalg::FuseMode::Off, tol,
+                        max_iter);
+      row.on = run_leg(n, row.vl_bits, precond, linalg::FuseMode::On, tol,
+                       max_iter);
+      row.identical = row.off.iterations == row.on.iterations &&
+                      row.off.solution == row.on.solution;
+      rows.push_back(std::move(row));
+      std::cerr << "  finished " << n << "x" << n << " vl=" << vl << "\n";
+    }
+  }
+
+  TableWriter table(
+      "Fused-kernel ablation: CG/" + precond +
+      " solve, --fuse off vs on (host + simulated A64FX, Cray profile)");
+  table.set_columns({"grid", "VL", "iters", "host off (s)", "host on (s)",
+                     "host x", "sim off (s)", "sim on (s)", "sim x",
+                     "bytes off", "bytes on", "pinned"});
+  bool ok = true;
+  std::string failures;
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.n) + "x" + std::to_string(r.n),
+                   TableWriter::integer(r.vl_bits),
+                   TableWriter::integer(r.on.iterations),
+                   TableWriter::num(r.off.host_s, 4),
+                   TableWriter::num(r.on.host_s, 4),
+                   TableWriter::num(r.host_speedup(), 2),
+                   TableWriter::num(r.off.sim_s, 4),
+                   TableWriter::num(r.on.sim_s, 4),
+                   TableWriter::num(r.sim_speedup(), 2),
+                   TableWriter::num(static_cast<double>(r.off.bytes) / 1e9, 3) +
+                       " GB",
+                   TableWriter::num(static_cast<double>(r.on.bytes) / 1e9, 3) +
+                       " GB",
+                   r.identical ? "yes" : "NO"});
+    const std::string cell =
+        std::to_string(r.n) + "x" + std::to_string(r.n) + "@" +
+        std::to_string(r.vl_bits);
+    if (!r.identical) {
+      ok = false;
+      failures += "  " + cell + ": fused trajectory diverged\n";
+    }
+    if (r.n >= gate_size) {
+      if (r.host_speedup() < gate_speedup) {
+        ok = false;
+        failures += "  " + cell + ": host speedup " +
+                    std::to_string(r.host_speedup()) + " < gate\n";
+      }
+      if (r.on.mem_cycles >= r.off.mem_cycles) {
+        ok = false;
+        failures += "  " + cell + ": simulated memory cycles not reduced\n";
+      }
+      if (r.on.bytes >= r.off.bytes) {
+        ok = false;
+        failures += "  " + cell + ": priced bytes not reduced\n";
+      }
+    }
+  }
+  table.print(std::cout);
+  if (!rows.empty()) {
+    // Fast-path recording overhead of the last fused leg (perfmon
+    // satellite): steady-state solves should be ~all memo hits.
+    const perfmon::MemoCacheStats memo{rows.back().on.memo_hits,
+                                       rows.back().on.memo_misses};
+    std::cout << "\n" << perfmon::format_memo_cache(memo) << "\n";
+  }
+
+  const std::string out = opt.get("out");
+  if (!out.empty()) {
+    write_json(out, rows);
+    std::cout << "wrote " << out << "\n";
+  }
+  if (!ok) {
+    std::cerr << "FAIL:\n" << failures;
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "linalg/exec_context.hpp"
 #include "support/error.hpp"
 #include "vla/vla.hpp"
 
@@ -43,6 +44,9 @@ void RunConfig::register_options(Options& opt) {
           "concurrency); results are identical at any value");
   opt.add("vla-exec", "native",
           "VLA execution backend: native (fast path) | interpret (reference)");
+  opt.add("fuse", "off",
+          "fused-kernel execution: on (one-pass solver composites) | off "
+          "(reference kernel-per-pass sequence)");
   opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
   opt.add("checkpoint-every", "0", "steps between checkpoints (0 = end only)");
 }
@@ -84,6 +88,8 @@ RunConfig RunConfig::from_options(const Options& opt) {
   c.host_threads = static_cast<int>(opt.get_int("host-threads"));
   c.vla_exec = opt.get("vla-exec");
   (void)vla::vla_exec_mode_from_name(c.vla_exec);  // validate early
+  c.fuse = opt.get("fuse");
+  (void)linalg::fuse_mode_from_name(c.fuse);  // validate early
   c.checkpoint_path = opt.get("checkpoint");
   c.checkpoint_every = static_cast<int>(opt.get_int("checkpoint-every"));
   return c;

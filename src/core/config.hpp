@@ -57,6 +57,13 @@ struct RunConfig {
   /// counts are identical; native is the default because it is the one you
   /// want for anything larger than a unit test.
   std::string vla_exec = "native";
+  /// Fused-kernel execution: "on" routes solver hot loops through one-pass
+  /// composites (MATVEC+DPROD, DAXPY₂, precond+ganged-dot, fused
+  /// residual); "off" (default) keeps the kernel-per-pass Table II
+  /// sequence bit-identically — results, counts, ledgers and clocks.
+  /// "on" keeps the numerics pinned but moves fewer bytes, so both host
+  /// time and simulated cycles drop.
+  std::string fuse = "off";
 
   // --- output ---
   std::string checkpoint_path;  ///< empty = no checkpoint

@@ -42,7 +42,8 @@ Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
   em_ = std::make_unique<mpisim::ExecModel>(
       std::move(machine), resolve_profiles(cfg.compilers), cfg.nranks());
   ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get(),
-                             vla::vla_exec_mode_from_name(cfg.vla_exec));
+                             vla::vla_exec_mode_from_name(cfg.vla_exec),
+                             linalg::fuse_mode_from_name(cfg.fuse));
 
   rad::FldConfig fld_cfg;
   fld_cfg.limiter = cfg.limiter;

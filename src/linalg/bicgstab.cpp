@@ -39,8 +39,12 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
   DistVector& phat = ws_->vec(6);
   DistVector& shat = ws_->vec(7);
   // r0 = b − A·x0, r̂ = r0, p = r0.
-  A.apply(ctx, x, r);
-  r.assign_sub(ctx, b, r);
+  if (ctx.fused()) {
+    A.apply_residual(ctx, x, b, r);
+  } else {
+    A.apply(ctx, x, r);
+    r.assign_sub(ctx, b, r);
+  }
   rhat.copy_from(ctx, r);
   p.copy_from(ctx, r);
 
@@ -64,23 +68,37 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
       stats.stop_reason = "rho breakdown";
       break;
     }
-    // p̂ = M·p ; v = A·p̂.
+    // p̂ = M·p ; v = A·p̂ with r̂·v folded into the sweep when fused.
     M.apply(ctx, p, phat);
-    A.apply(ctx, phat, v);
-    const double rhat_v = DistVector::dot(ctx, rhat, v);
+    double rhat_v;
+    if (ctx.fused()) {
+      rhat_v = A.apply_dot(ctx, phat, v, &rhat);
+    } else {
+      A.apply(ctx, phat, v);
+      rhat_v = DistVector::dot(ctx, rhat, v);
+    }
     ++stats.global_reductions;
     if (std::fabs(rhat_v) < kBreakdownEps) {
       stats.stop_reason = "rhat.v breakdown";
       break;
     }
     const double alpha = rho / rhat_v;
-    // s = r − α·v.
-    s.copy_from(ctx, r);
-    s.daxpy(ctx, -alpha, v);
-    // ŝ = M·s ; t = A·ŝ.
+    // s = r − α·v (fused: the COPY disappears into the DAXPY).
+    if (ctx.fused()) {
+      s.assign_axpy(ctx, r, -alpha, v);
+    } else {
+      s.copy_from(ctx, r);
+      s.daxpy(ctx, -alpha, v);
+    }
+    // ŝ = M·s ; t = A·ŝ with t·s folded into the sweep when fused.
     M.apply(ctx, s, shat);
-    A.apply(ctx, shat, t);
-    const double ts = DistVector::dot(ctx, t, s);
+    double ts;
+    if (ctx.fused()) {
+      ts = A.apply_dot(ctx, shat, t, &s);
+    } else {
+      A.apply(ctx, shat, t);
+      ts = DistVector::dot(ctx, t, s);
+    }
     ++stats.global_reductions;
     const double tt = DistVector::dot(ctx, t, t);
     ++stats.global_reductions;
@@ -98,8 +116,12 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
     const double omega = ts / tt;
     // x += α·p̂ + ω·ŝ ;  r = s − ω·t.
     x.ddaxpy(ctx, alpha, phat, omega, shat);
-    r.copy_from(ctx, s);
-    r.daxpy(ctx, -omega, t);
+    if (ctx.fused()) {
+      r.assign_axpy(ctx, s, -omega, t);
+    } else {
+      r.copy_from(ctx, s);
+      r.daxpy(ctx, -omega, t);
+    }
     rnorm = DistVector::norm2(ctx, r);
     ++stats.global_reductions;
     stats.final_relative_residual = rnorm / bnorm;
@@ -116,11 +138,15 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
     ++stats.global_reductions;
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
-    // p = r + β·(p − ω·v).
-    p.daxpy(ctx, -omega, v);
-    p.xpby(ctx, r, beta);
+    // p = r + β·(p − ω·v), one pass when fused.
+    if (ctx.fused()) {
+      p.fused_p_update(ctx, r, beta, omega, v);
+    } else {
+      p.daxpy(ctx, -omega, v);
+      p.xpby(ctx, r, beta);
+    }
   }
-  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  if (!stats.stop_reason_set()) stats.stop_reason = "max iterations";
   return stats;
 }
 
@@ -138,8 +164,12 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
   DistVector& t = ws_->vec(5);
   DistVector& phat = ws_->vec(6);
   DistVector& shat = ws_->vec(7);
-  A.apply(ctx, x, r);
-  r.assign_sub(ctx, b, r);
+  if (ctx.fused()) {
+    A.apply_residual(ctx, x, b, r);
+  } else {
+    A.apply(ctx, x, r);
+    r.assign_sub(ctx, b, r);
+  }
   rhat.copy_from(ctx, r);
   p.copy_from(ctx, r);
 
@@ -167,17 +197,28 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
       break;
     }
     M.apply(ctx, p, phat);
-    A.apply(ctx, phat, v);
-    const double rhat_v = DistVector::dot(ctx, rhat, v);
+    double rhat_v;
+    if (ctx.fused()) {
+      rhat_v = A.apply_dot(ctx, phat, v, &rhat);
+    } else {
+      A.apply(ctx, phat, v);
+      rhat_v = DistVector::dot(ctx, rhat, v);
+    }
     ++stats.global_reductions;
     if (std::fabs(rhat_v) < kBreakdownEps) {
       stats.stop_reason = "rhat.v breakdown";
       break;
     }
     const double alpha = rho / rhat_v;
-    s.copy_from(ctx, r);
-    s.daxpy(ctx, -alpha, v);
+    if (ctx.fused()) {
+      s.assign_axpy(ctx, r, -alpha, v);
+    } else {
+      s.copy_from(ctx, r);
+      s.daxpy(ctx, -alpha, v);
+    }
     M.apply(ctx, s, shat);
+    // The 3-dot gang below shares ONE reduction; folding tᵀs into the
+    // matvec would split it into two, so the product stays unfused here.
     A.apply(ctx, shat, t);
     // Gang: {tᵀs, tᵀt, sᵀs} in one reduction.
     double ts, tt, ss;
@@ -199,8 +240,12 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
     }
     const double omega = ts / tt;
     x.ddaxpy(ctx, alpha, phat, omega, shat);
-    r.copy_from(ctx, s);
-    r.daxpy(ctx, -omega, t);
+    if (ctx.fused()) {
+      r.assign_axpy(ctx, s, -omega, t);
+    } else {
+      r.copy_from(ctx, s);
+      r.daxpy(ctx, -omega, t);
+    }
     // ‖r‖² reconstructed from the gang — no extra reduction.
     rnorm2 = std::max(0.0, ss - 2.0 * omega * ts + omega * omega * tt);
     stats.final_relative_residual = std::sqrt(rnorm2) / bnorm;
@@ -217,10 +262,14 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
     ++stats.global_reductions;
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
-    p.daxpy(ctx, -omega, v);
-    p.xpby(ctx, r, beta);
+    if (ctx.fused()) {
+      p.fused_p_update(ctx, r, beta, omega, v);
+    } else {
+      p.daxpy(ctx, -omega, v);
+      p.xpby(ctx, r, beta);
+    }
   }
-  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  if (!stats.stop_reason_set()) stats.stop_reason = "max iterations";
   return stats;
 }
 

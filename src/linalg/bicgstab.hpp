@@ -39,7 +39,17 @@ struct SolveStats {
   int iterations = 0;
   double final_relative_residual = 0.0;
   std::int64_t global_reductions = 0;  ///< allreduce count issued
+
+  /// Why the solver stopped.  Starts as the empty "unset" sentinel; every
+  /// solver exit path assigns a definitive reason, so after solve() this
+  /// is never null or empty (pinned by the solver tests).  Use
+  /// stop_reason_set() rather than poking the C string.
   const char* stop_reason = "";
+
+  /// True once a solver has assigned a definitive stop reason.
+  bool stop_reason_set() const {
+    return stop_reason != nullptr && stop_reason[0] != '\0';
+  }
 };
 
 class BicgstabSolver {

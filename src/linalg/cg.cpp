@@ -19,8 +19,12 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
   DistVector& p = ws_->vec(2);
   DistVector& q = ws_->vec(3);
 
-  A.apply(ctx, x, r);
-  r.assign_sub(ctx, b, r);
+  if (ctx.fused()) {
+    A.apply_residual(ctx, x, b, r);
+  } else {
+    A.apply(ctx, x, r);
+    r.assign_sub(ctx, b, r);
+  }
   M.apply(ctx, r, z);
   p.copy_from(ctx, z);
 
@@ -42,8 +46,14 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
     stats.iterations = it;
-    A.apply(ctx, p, q);
-    const double pq = DistVector::dot(ctx, p, q);
+    double pq;
+    if (ctx.fused()) {
+      // Fused MATVEC+DPROD: p·Ap rides the stencil sweep.
+      pq = A.apply_dot(ctx, p, q);
+    } else {
+      A.apply(ctx, p, q);
+      pq = DistVector::dot(ctx, p, q);
+    }
     ++stats.global_reductions;
     // On an SPD operator p·Ap > 0 for p ≠ 0.  A negative (or NaN) value
     // means the operator is not positive definite — a distinct failure
@@ -54,11 +64,26 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
       break;
     }
     const double alpha = rz / pq;
-    x.daxpy(ctx, alpha, p);
-    r.daxpy(ctx, -alpha, q);
-    M.apply(ctx, r, z);
     double rz_new;
-    {
+    double fused_vals[2];
+    // The CG tail composite: r ← r − α·q, z ← M·r and the {r·z, r·r}
+    // gang in ONE sweep (still one ganged reduction); x's half of the
+    // twin update keeps its own pass.  Preconditioners without a fused
+    // form fall back to DAXPY₂ + apply + dot_ganged.
+    if (ctx.fused() && M.apply_dot2(ctx, r, z, fused_vals, -alpha, &q)) {
+      x.daxpy(ctx, alpha, p);
+      ++stats.global_reductions;
+      rz_new = fused_vals[0];
+      rnorm2 = fused_vals[1];
+    } else {
+      if (ctx.fused()) {
+        // Twin update DAXPY₂: both vectors in one pass.
+        DistVector::daxpy2(ctx, x, alpha, p, r, -alpha, q);
+      } else {
+        x.daxpy(ctx, alpha, p);
+        r.daxpy(ctx, -alpha, q);
+      }
+      M.apply(ctx, r, z);
       const DistVector::DotPair pairs[] = {{&r, &z}, {&r, &r}};
       const auto vals = DistVector::dot_ganged(ctx, pairs);
       ++stats.global_reductions;
@@ -75,7 +100,7 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
     rz = rz_new;
     p.xpby(ctx, z, beta);
   }
-  if (stats.stop_reason[0] == '\0') stats.stop_reason = "max iterations";
+  if (!stats.stop_reason_set()) stats.stop_reason = "max iterations";
   return stats;
 }
 

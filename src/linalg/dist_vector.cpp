@@ -132,6 +132,64 @@ void DistVector::assign_sub(ExecContext& ctx, const DistVector& x,
                });
 }
 
+void DistVector::daxpy2(ExecContext& ctx, DistVector& x, double a,
+                        const DistVector& p, DistVector& r, double b,
+                        const DistVector& q) {
+  require_same_shape(x, p);
+  require_same_shape(x, r);
+  require_same_shape(x, q);
+  x.for_each_row(ctx, KernelFamily::Daxpy, "daxpy2", 4,
+                 [&](ExecContext& rctx, int rk, int s, int lj, std::size_t n) {
+                   grid::TileView pv =
+                       const_cast<DistVector&>(p).field().view(rk, s);
+                   grid::TileView qv =
+                       const_cast<DistVector&>(q).field().view(rk, s);
+                   grid::TileView xv = x.field().view(rk, s);
+                   grid::TileView rv = r.field().view(rk, s);
+                   linalg::daxpy2(rctx.vctx, a,
+                                  std::span<const double>(pv.row(lj), n),
+                                  std::span<double>(xv.row(lj), n), b,
+                                  std::span<const double>(qv.row(lj), n),
+                                  std::span<double>(rv.row(lj), n));
+                 });
+}
+
+void DistVector::assign_axpy(ExecContext& ctx, const DistVector& x, double a,
+                             const DistVector& z) {
+  require_same_shape(*this, x);
+  require_same_shape(*this, z);
+  for_each_row(ctx, KernelFamily::VecMisc, "axpy", 3,
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+                 grid::TileView xv =
+                     const_cast<DistVector&>(x).field().view(r, s);
+                 grid::TileView zv =
+                     const_cast<DistVector&>(z).field().view(r, s);
+                 grid::TileView yv = field_.view(r, s);
+                 linalg::axpy_out(rctx.vctx,
+                                  std::span<const double>(xv.row(lj), n), a,
+                                  std::span<const double>(zv.row(lj), n),
+                                  std::span<double>(yv.row(lj), n));
+               });
+}
+
+void DistVector::fused_p_update(ExecContext& ctx, const DistVector& x,
+                                double b, double w, const DistVector& v) {
+  require_same_shape(*this, x);
+  require_same_shape(*this, v);
+  for_each_row(ctx, KernelFamily::VecMisc, "p-update", 3,
+               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+                 grid::TileView xv =
+                     const_cast<DistVector&>(x).field().view(r, s);
+                 grid::TileView vv =
+                     const_cast<DistVector&>(v).field().view(r, s);
+                 grid::TileView pv = field_.view(r, s);
+                 linalg::p_update(rctx.vctx,
+                                  std::span<const double>(xv.row(lj), n), b, w,
+                                  std::span<const double>(vv.row(lj), n),
+                                  std::span<double>(pv.row(lj), n));
+               });
+}
+
 double DistVector::dot(ExecContext& ctx, const DistVector& x,
                        const DistVector& y) {
   const DotPair pair{&x, &y};

@@ -48,6 +48,26 @@ public:
   /// z ← x − y
   void assign_sub(ExecContext& ctx, const DistVector& x, const DistVector& y);
 
+  // --- fused composites (FuseMode::On call sites) ----------------------------
+  // One-pass versions of the kernel chains the solver hot loops issue;
+  // results are bit-identical to the unfused sequences (same per-element
+  // association order), only the instruction stream and priced traffic
+  // shrink.
+
+  /// Fused CG twin update (DAXPY₂): x ← x + a·p and r ← r + b·q in one
+  /// pass — one priced kernel call instead of two DAXPYs.
+  static void daxpy2(ExecContext& ctx, DistVector& x, double a,
+                     const DistVector& p, DistVector& r, double b,
+                     const DistVector& q);
+
+  /// y ← x + a·z (fused COPY+DAXPY: replaces copy_from + daxpy).
+  void assign_axpy(ExecContext& ctx, const DistVector& x, double a,
+                   const DistVector& z);
+
+  /// y ← x + b·(y − w·v) (fused DAXPY+XPBY: the BiCGSTAB p-update).
+  void fused_p_update(ExecContext& ctx, const DistVector& x, double b,
+                      double w, const DistVector& v);
+
   /// DPROD with the global reduction priced as one allreduce.
   static double dot(ExecContext& ctx, const DistVector& x,
                     const DistVector& y);

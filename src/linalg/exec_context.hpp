@@ -18,22 +18,56 @@
 
 namespace v2d::linalg {
 
+/// Whether the solvers route hot-loop call sites through the fused
+/// one-pass composites (MATVEC+DPROD, DAXPY₂, precond+ganged-dot, fused
+/// residual/smoother) instead of the kernel-per-pass Table II sequence.
+///
+///   Off — every call site runs the original kernel sequence; results,
+///         recorded counts, ledgers and simulated clocks are bit-identical
+///         to a build without the fusion layer.
+///   On  — hot loops use the composites: fewer memory passes, fewer kernel
+///         calls, reduced bytes_moved in the priced stream.  Numerics are
+///         pinned to the unfused path (the composites evaluate the same
+///         per-element expressions in the same association order, and
+///         reductions keep the rank-ordered compensated merge), so the
+///         Krylov trajectory is unchanged — only the price is.
+enum class FuseMode : std::uint8_t {
+  Off,
+  On,
+};
+
+inline const char* fuse_mode_name(FuseMode m) {
+  return m == FuseMode::On ? "on" : "off";
+}
+
+inline FuseMode fuse_mode_from_name(const std::string& name) {
+  if (name == "on") return FuseMode::On;
+  if (name == "off") return FuseMode::Off;
+  throw Error("unknown fuse mode '" + name + "' (expected on|off)");
+}
+
 struct ExecContext {
   vla::Context vctx;
   mpisim::ExecModel* em = nullptr;
+  FuseMode fuse = FuseMode::Off;
 
   ExecContext() = default;
   explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr,
-                       vla::VlaExecMode mode = vla::VlaExecMode::Interpret)
-      : vctx(arch, mode), em(model) {}
-  ExecContext(vla::Context v, mpisim::ExecModel* model)
-      : vctx(std::move(v)), em(model) {}
+                       vla::VlaExecMode mode = vla::VlaExecMode::Interpret,
+                       FuseMode fuse_mode = FuseMode::Off)
+      : vctx(arch, mode), em(model), fuse(fuse_mode) {}
+  ExecContext(vla::Context v, mpisim::ExecModel* model,
+              FuseMode fuse_mode = FuseMode::Off)
+      : vctx(std::move(v)), em(model), fuse(fuse_mode) {}
+
+  /// True when call sites should take the fused-composite path.
+  bool fused() const { return fuse == FuseMode::On; }
 
   /// Rank-local child context for par_ranks: shares the pricer and the
   /// analytic count cache, with a private recording accumulator so
   /// concurrent rank tasks keep their instruction streams separate.
   /// Allocation-free beyond a shared_ptr bump — runs once per rank task.
-  ExecContext fork() const { return ExecContext(vctx.fork(), em); }
+  ExecContext fork() const { return ExecContext(vctx.fork(), em, fuse); }
 
   /// Flush the recording accumulated since the last commit as one kernel
   /// call by `rank` touching a `working_set_bytes` footprint.

@@ -35,6 +35,18 @@ enum class KernelShape : std::uint8_t {
   DiagScaleRow,
   RestrictRow,
   ProlongRow,
+  // --- fused composites (FuseMode::On call sites) ---
+  StencilDotRow,         ///< stencil + w·y dot, w aliasing the center x
+  StencilDotWRow,        ///< stencil + w·y dot, distinct w vector
+  CoupledStencilDotRow,  ///< stencil + species coupling + self dot
+  CoupledStencilDotWRow, ///< stencil + species coupling + distinct-w dot
+  StencilSubRow,         ///< fused residual row r ← b − A·x
+  CoupledStencilSubRow,  ///< fused residual row with species coupling
+  Daxpy2,                ///< CG twin update x ← x+a·p, r ← r+b·q
+  AxpyOut,               ///< z ← x + a·y (fused COPY+DAXPY)
+  PUpdate,               ///< p ← r + b·(p − w·v) (fused DAXPY+XPBY)
+  HadamardDot2,          ///< z ← m⊙r with the {r·z, r·r} gang folded in
+  HadamardUpdateDot2,    ///< r ← r+a·q, then z ← m⊙r with the gang folded in
 };
 
 /// The exact KernelCounts the interpreter backend records for one call of

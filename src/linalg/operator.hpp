@@ -23,6 +23,28 @@ public:
   /// ghost zones (the halo exchange is part of the matrix-free product).
   virtual void apply(ExecContext& ctx, DistVector& x, DistVector& y) const = 0;
 
+  /// y ← A·x returning w·y (w null ⇒ x·y, the CG p·Ap case), with the
+  /// reduction priced as one allreduce — the fused MATVEC+DPROD entry
+  /// point.  This default runs apply() followed by DistVector::dot, so it
+  /// prices identically to the unfused call sequence and any operator
+  /// supports it; StencilOperator overrides it to fold the dot into the
+  /// stencil sweep.  The result is bit-identical either way (compensated
+  /// rank-ordered accumulation in both).
+  virtual double apply_dot(ExecContext& ctx, DistVector& x, DistVector& y,
+                           const DistVector* w = nullptr) const {
+    apply(ctx, x, y);
+    return DistVector::dot(ctx, w != nullptr ? *w : x, y);
+  }
+
+  /// r ← b − A·x — the fused-residual entry point.  Default is apply() +
+  /// assign_sub (unfused pricing); StencilOperator folds the subtraction
+  /// into the sweep.
+  virtual void apply_residual(ExecContext& ctx, DistVector& x,
+                              const DistVector& b, DistVector& r) const {
+    apply(ctx, x, r);
+    r.assign_sub(ctx, b, r);
+  }
+
   /// Number of unknowns (ns · nx1 · nx2).
   virtual std::int64_t size() const = 0;
 };

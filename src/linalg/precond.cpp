@@ -2,14 +2,73 @@
 
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "linalg/kernels.hpp"
 #include "linalg/mg/mg_precond.hpp"
+#include "support/dd.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
 
 using compiler::KernelFamily;
+
+namespace {
+
+/// Shared fused apply+2-dot sweep for the diagonal preconditioners:
+/// y ← m ⊙ x with {x·y, x·x} folded in — and, when `update_q` is given,
+/// the residual DAXPY x ← x + update_a·q leading the sweep (the CG tail
+/// composite).  Per-rank compensated partials merged in rank order
+/// (identical accumulation to dot_ganged), one ganged allreduce for the
+/// pair.
+void diagonal_apply_dot2(ExecContext& ctx, grid::DistField& m, DistVector& x,
+                         DistVector& y, double out[2], double update_a,
+                         const DistVector* update_q) {
+  const auto& dec = x.field().decomp();
+  const int nranks = dec.nranks();
+  auto* qv_vec = const_cast<DistVector*>(update_q);
+  std::vector<std::array<DdAccumulator, 2>> partial(
+      static_cast<std::size_t>(nranks));
+  par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
+    const grid::TileExtent& e = dec.extent(r);
+    const auto n = static_cast<std::size_t>(e.ni);
+    auto& acc = partial[static_cast<std::size_t>(r)];
+    for (int s = 0; s < x.ns(); ++s) {
+      grid::TileView xv = x.field().view(r, s);
+      grid::TileView yv = y.field().view(r, s);
+      grid::TileView mv = m.view(r, s);
+      grid::TileView qv =
+          qv_vec != nullptr ? qv_vec->field().view(r, s) : mv;
+      for (int lj = 0; lj < e.nj; ++lj) {
+        if (qv_vec != nullptr) {
+          hadamard_update_dot2(
+              rctx.vctx, std::span<const double>(mv.row(lj), n), update_a,
+              std::span<const double>(qv.row(lj), n),
+              std::span<double>(xv.row(lj), n),
+              std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+        } else {
+          hadamard_dot2(rctx.vctx, std::span<const double>(mv.row(lj), n),
+                        std::span<const double>(xv.row(lj), n),
+                        std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+        }
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * x.ns();
+    rctx.commit(r, KernelFamily::Precond, "precond-dot", elements,
+                x.working_set(r, qv_vec != nullptr ? 4 : 3));
+  });
+  // One ganged allreduce for the {x·y, x·x} pair, as in dot_ganged.
+  ctx.allreduce(2 * sizeof(double));
+  DdAccumulator xy, xx;
+  for (int r = 0; r < nranks; ++r) {
+    xy.add(partial[static_cast<std::size_t>(r)][0]);
+    xx.add(partial[static_cast<std::size_t>(r)][1]);
+  }
+  out[0] = xy.value();
+  out[1] = xx.value();
+}
+
+}  // namespace
 
 // --- identity -----------------------------------------------------------------
 
@@ -62,6 +121,13 @@ void JacobiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
     rctx.commit(r, KernelFamily::Precond, "precond", elements,
                 x.working_set(r, 3));
   });
+}
+
+bool JacobiPrecond::apply_dot2(ExecContext& ctx, DistVector& x, DistVector& y,
+                               double out[2], double update_a,
+                               const DistVector* update_q) {
+  diagonal_apply_dot2(ctx, dinv_, x, y, out, update_a, update_q);
+  return true;
 }
 
 // --- SPAI(0) --------------------------------------------------------------------
@@ -128,6 +194,13 @@ void Spai0Precond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
     rctx.commit(r, KernelFamily::Precond, "precond", elements,
                 x.working_set(r, 3));
   });
+}
+
+bool Spai0Precond::apply_dot2(ExecContext& ctx, DistVector& x, DistVector& y,
+                              double out[2], double update_a,
+                              const DistVector* update_q) {
+  diagonal_apply_dot2(ctx, m_, x, y, out, update_a, update_q);
+  return true;
 }
 
 // --- SPAI(1) --------------------------------------------------------------------

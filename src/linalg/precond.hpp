@@ -24,6 +24,25 @@ public:
   /// y ← M·x.  `x` mutable for ghost refresh (stencil-shaped M).
   virtual void apply(ExecContext& ctx, DistVector& x, DistVector& y) = 0;
 
+  /// Fused apply + ganged 2-dot: y ← M·x and out = {x·y, x·x}, the pair
+  /// priced as ONE ganged allreduce — exactly the reduction the CG hot
+  /// loop issues as dot_ganged({r·z, r·r}) after the precond apply, folded
+  /// into the apply sweep so x and y are not re-streamed.  When
+  /// `update_q` is non-null the sweep first applies the residual DAXPY
+  /// x ← x + update_a·q element-by-element (the CG tail composite: the
+  /// r-update, precond apply and gang become one pass).  Returns false
+  /// *without doing any work* when this preconditioner has no fused form
+  /// (stencil-shaped or multilevel M); callers then fall back to the
+  /// unfused kernel chain.  The diagonal preconditioners (Jacobi,
+  /// SPAI(0)) override it; results are bit-identical to the unfused
+  /// sequence.
+  virtual bool apply_dot2(ExecContext& /*ctx*/, DistVector& /*x*/,
+                          DistVector& /*y*/, double /*out*/[2],
+                          double /*update_a*/ = 0.0,
+                          const DistVector* /*update_q*/ = nullptr) {
+    return false;
+  }
+
   virtual std::string name() const = 0;
 };
 
@@ -41,6 +60,9 @@ public:
   JacobiPrecond(ExecContext& ctx, const StencilOperator& A);
 
   void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  bool apply_dot2(ExecContext& ctx, DistVector& x, DistVector& y,
+                  double out[2], double update_a = 0.0,
+                  const DistVector* update_q = nullptr) override;
   std::string name() const override { return "jacobi"; }
 
 private:
@@ -59,6 +81,9 @@ public:
   Spai0Precond(ExecContext& ctx, const StencilOperator& A);
 
   void apply(ExecContext& ctx, DistVector& x, DistVector& y) override;
+  bool apply_dot2(ExecContext& ctx, DistVector& x, DistVector& y,
+                  double out[2], double update_a = 0.0,
+                  const DistVector* update_q = nullptr) override;
   std::string name() const override { return "spai0"; }
 
   const grid::DistField& diagonal() const { return m_; }

@@ -1,6 +1,9 @@
 #include "linalg/stencil_op.hpp"
 
+#include <vector>
+
 #include "linalg/kernels.hpp"
+#include "support/dd.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
@@ -115,6 +118,139 @@ void StencilOperator::apply_as(ExecContext& ctx, DistVector& x, DistVector& y,
     // every sweep, so they add traffic (bytes_moved) but not footprint.
     const int arrays = 7 + (csp_ ? 1 : 0);
     rctx.commit(r, family, region, elements, y.working_set(r, arrays));
+  });
+}
+
+double StencilOperator::apply_dot(ExecContext& ctx, DistVector& x,
+                                  DistVector& y, const DistVector* w) const {
+  V2D_REQUIRE(x.ns() == ns_ && y.ns() == ns_, "species count mismatch");
+  grid::DistField& xf = x.field();
+  const auto transfers = xf.exchange_ghosts();
+  xf.apply_bc(grid::BcKind::Dirichlet0);
+  ctx.exchange(transfers);
+
+  auto* self = const_cast<StencilOperator*>(this);
+  auto* wv = const_cast<DistVector*>(w);
+  const int nranks = dec_->nranks();
+  // Per-rank compensated partials merged in rank order below — the same
+  // accumulation dot_ganged performs, so the result is bit-identical to
+  // the unfused apply() + dot() and independent of the host-thread count.
+  std::vector<DdAccumulator> partial(static_cast<std::size_t>(nranks));
+  par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
+    const grid::TileExtent& e = dec_->extent(r);
+    const auto n = static_cast<std::size_t>(e.ni);
+    DdAccumulator& acc = partial[static_cast<std::size_t>(r)];
+    for (int s = 0; s < ns_; ++s) {
+      grid::TileView xv = xf.view(r, s);
+      grid::TileView yv = y.field().view(r, s);
+      grid::TileView vcc = self->cc_.view(r, s);
+      grid::TileView vcw = self->cw_.view(r, s);
+      grid::TileView vce = self->ce_.view(r, s);
+      grid::TileView vcs = self->cs_.view(r, s);
+      grid::TileView vcn = self->cn_.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        const double* csp_row = nullptr;
+        const double* xo_row = nullptr;
+        if (csp_) {
+          csp_row = self->csp_->view(r, s).row(lj);
+          xo_row = xf.view(r, 1 - s).row(lj);
+        }
+        const double* wrow =
+            wv != nullptr ? wv->field().view(r, s).row(lj) : xv.row(lj);
+        stencil_row_fused(rctx.vctx, std::span<const double>(vcc.row(lj), n),
+                          std::span<const double>(vcw.row(lj), n),
+                          std::span<const double>(vce.row(lj), n),
+                          std::span<const double>(vcs.row(lj), n),
+                          std::span<const double>(vcn.row(lj), n), xv.row(lj),
+                          xv.row(lj - 1), xv.row(lj + 1), csp_row, xo_row,
+                          /*bsub=*/nullptr, wrow, &acc,
+                          std::span<double>(yv.row(lj), n));
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns_;
+    if (eval_doubles_read_ > 0 || eval_flops_ > 0) {
+      rctx.vctx.record_external(sim::OpClass::LoadContig,
+                                elements * eval_doubles_read_,
+                                elements * eval_doubles_read_ * sizeof(double),
+                                0);
+      rctx.vctx.record_external(sim::OpClass::FlopFma,
+                                elements * eval_flops_ / 2, 0, 0);
+    }
+    // Working set: the matvec's arrays plus w when it is a distinct
+    // vector; the dot itself streams nothing extra.
+    const int arrays = 7 + (csp_ ? 1 : 0) + (wv != nullptr ? 1 : 0);
+    rctx.commit(r, compiler::KernelFamily::Matvec, "matvec-dot", elements,
+                y.working_set(r, arrays));
+  });
+  // The folded dot still pays its single global reduction.
+  ctx.allreduce(sizeof(double));
+  DdAccumulator total;
+  for (int r = 0; r < nranks; ++r)
+    total.add(partial[static_cast<std::size_t>(r)]);
+  return total.value();
+}
+
+void StencilOperator::apply_residual(ExecContext& ctx, DistVector& x,
+                                     const DistVector& b, DistVector& r) const {
+  apply_residual_as(ctx, x, b, r, KernelFamily::Matvec, "matvec-residual");
+}
+
+void StencilOperator::apply_residual_as(ExecContext& ctx, DistVector& x,
+                                        const DistVector& b, DistVector& r,
+                                        KernelFamily family,
+                                        const std::string& region) const {
+  V2D_REQUIRE(x.ns() == ns_ && b.ns() == ns_ && r.ns() == ns_,
+              "species count mismatch");
+  grid::DistField& xf = x.field();
+  const auto transfers = xf.exchange_ghosts();
+  xf.apply_bc(grid::BcKind::Dirichlet0);
+  ctx.exchange(transfers);
+
+  auto* self = const_cast<StencilOperator*>(this);
+  auto& bf = const_cast<DistVector&>(b).field();
+  par_ranks(ctx, *dec_, [&](int rank, ExecContext& rctx) {
+    const grid::TileExtent& e = dec_->extent(rank);
+    const auto n = static_cast<std::size_t>(e.ni);
+    for (int s = 0; s < ns_; ++s) {
+      grid::TileView xv = xf.view(rank, s);
+      grid::TileView bv = bf.view(rank, s);
+      grid::TileView rv = r.field().view(rank, s);
+      grid::TileView vcc = self->cc_.view(rank, s);
+      grid::TileView vcw = self->cw_.view(rank, s);
+      grid::TileView vce = self->ce_.view(rank, s);
+      grid::TileView vcs = self->cs_.view(rank, s);
+      grid::TileView vcn = self->cn_.view(rank, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        const double* csp_row = nullptr;
+        const double* xo_row = nullptr;
+        if (csp_) {
+          csp_row = self->csp_->view(rank, s).row(lj);
+          xo_row = xf.view(rank, 1 - s).row(lj);
+        }
+        stencil_row_fused(rctx.vctx, std::span<const double>(vcc.row(lj), n),
+                          std::span<const double>(vcw.row(lj), n),
+                          std::span<const double>(vce.row(lj), n),
+                          std::span<const double>(vcs.row(lj), n),
+                          std::span<const double>(vcn.row(lj), n), xv.row(lj),
+                          xv.row(lj - 1), xv.row(lj + 1), csp_row, xo_row,
+                          /*bsub=*/bv.row(lj), /*wdot=*/nullptr,
+                          /*dot=*/nullptr, std::span<double>(rv.row(lj), n));
+      }
+    }
+    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns_;
+    if (eval_doubles_read_ > 0 || eval_flops_ > 0) {
+      rctx.vctx.record_external(sim::OpClass::LoadContig,
+                                elements * eval_doubles_read_,
+                                elements * eval_doubles_read_ * sizeof(double),
+                                0);
+      rctx.vctx.record_external(sim::OpClass::FlopFma,
+                                elements * eval_flops_ / 2, 0, 0);
+    }
+    // Working set: x (with ghosts), b, r, five coefficient arrays
+    // (+coupling) — one array more than the plain product, two passes
+    // fewer than the unfused apply + assign_sub.
+    const int arrays = 8 + (csp_ ? 1 : 0);
+    rctx.commit(rank, family, region, elements, r.working_set(rank, arrays));
   });
 }
 

@@ -35,4 +35,12 @@ std::string format_perf_stat(const PerfStatResult& r) {
   return os.str();
 }
 
+std::string format_memo_cache(const MemoCacheStats& s) {
+  std::ostringstream os;
+  os << "memo cache: " << grouped(s.hits) << " hits, " << grouped(s.misses)
+     << " misses (" << std::fixed << std::setprecision(1)
+     << 100.0 * s.hit_rate() << "% hit rate)";
+  return os.str();
+}
+
 }  // namespace v2d::perfmon

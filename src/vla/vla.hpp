@@ -16,6 +16,7 @@
 /// kernel, which are all strip-mined streaming loops.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -138,11 +139,28 @@ public:
     {
       std::shared_lock<std::shared_mutex> lk(cache.mu);
       auto it = cache.map.find(key);
-      if (it != cache.map.end()) return it->second;
+      if (it != cache.map.end()) {
+        cache.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
+    cache.misses.fetch_add(1, std::memory_order_relaxed);
     sim::KernelCounts made = make();
     std::unique_lock<std::shared_mutex> lk(cache.mu);
     return cache.map.try_emplace(key, made).first->second;
+  }
+
+  /// Analytic-count memo cache statistics, accumulated across this context
+  /// and all its forks for the lifetime of the fork family.  A steady-state
+  /// native-mode run should be almost all hits; the miss count bounds how
+  /// many distinct (shape, n) formulas were ever evaluated.  Exposed so
+  /// perfmon can report fast-path recording overhead (see
+  /// perfmon::MemoCacheStats).
+  std::uint64_t memo_hits() const {
+    return count_cache_->hits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_misses() const {
+    return count_cache_->misses.load(std::memory_order_relaxed);
   }
 
   /// Fold an externally-estimated instruction stream into the recording
@@ -355,6 +373,8 @@ private:
   struct CountCache {
     std::shared_mutex mu;
     std::unordered_map<std::uint64_t, sim::KernelCounts> map;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
   };
 
   Context(VectorArch arch, VlaExecMode mode,

@@ -1,0 +1,754 @@
+/// \file test_fusion.cpp
+/// \brief Fused-kernel execution layer: composite kernels, solver wiring
+/// and the FuseMode contract.
+///
+/// Three layers of pins, mirroring test_vla_fastpath.cpp:
+///   1. every fused composite kernel is bit-identical between the
+///      interpreter and native backends, with identical KernelCounts,
+///      across all architectural VLs and tail shapes;
+///   2. every composite reproduces its unfused kernel chain bit-for-bit
+///      (same per-element association order, same compensated reductions);
+///   3. a CG/BiCGSTAB solve with --fuse on matches --fuse off exactly —
+///      same iterates, same reduction count, bit-identical solution —
+///      while the fused simulated clock is strictly cheaper.
+/// Plus the BiCGSTAB edge paths (zero rhs, exact breakdown, indefinite
+/// operator) and the SolveStats stop-reason contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/v2d.hpp"
+#include "linalg/bicgstab.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/kernel_counts.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/precond.hpp"
+#include "linalg/stencil_op.hpp"
+#include "perfmon/perf_stat.hpp"
+#include "support/dd.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace v2d::linalg {
+namespace {
+
+using vla::Context;
+using vla::VectorArch;
+using vla::VlaExecMode;
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_counts_equal(const sim::KernelCounts& interp,
+                         const sim::KernelCounts& fast) {
+  for (std::size_t i = 0; i < sim::kNumOpClasses; ++i) {
+    const auto c = static_cast<sim::OpClass>(i);
+    EXPECT_EQ(interp.instr[i], fast.instr[i])
+        << "instr mismatch for " << sim::op_class_name(c);
+    EXPECT_EQ(interp.lanes[i], fast.lanes[i])
+        << "lanes mismatch for " << sim::op_class_name(c);
+  }
+  EXPECT_EQ(interp.bytes_read, fast.bytes_read);
+  EXPECT_EQ(interp.bytes_written, fast.bytes_written);
+}
+
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+  }
+}
+
+// --- 1. interpreter vs native equivalence of the composites ------------------
+
+class FusedKernelSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+protected:
+  unsigned bits() const { return std::get<0>(GetParam()); }
+  std::size_t n() const {
+    const std::size_t vl = bits() / 64;
+    switch (std::get<1>(GetParam())) {
+      case 0: return 0;
+      case 1: return 1;
+      case 2: return vl - 1;
+      case 3: return vl;
+      case 4: return vl + 1;
+      case 5: return 3 * vl;
+      case 6: return 3 * vl + vl / 2;
+      default: return 257;
+    }
+  }
+  Context interp_ctx() const {
+    return Context(VectorArch(bits()), VlaExecMode::Interpret);
+  }
+  Context native_ctx() const {
+    return Context(VectorArch(bits()), VlaExecMode::Native);
+  }
+};
+
+TEST_P(FusedKernelSweep, Daxpy2) {
+  Rng rng(31);
+  const auto p = random_vec(n(), rng), q = random_vec(n(), rng);
+  auto xi = random_vec(n(), rng), xn = xi;
+  auto ri = random_vec(n(), rng), rn = ri;
+  Context ci = interp_ctx(), cx = native_ctx();
+  daxpy2(ci, 0.7, p, xi, -0.7, q, ri);
+  daxpy2(cx, 0.7, p, xn, -0.7, q, rn);
+  expect_bits_equal(xi, xn);
+  expect_bits_equal(ri, rn);
+  expect_counts_equal(ci.take_counts(), cx.take_counts());
+}
+
+TEST_P(FusedKernelSweep, AxpyOut) {
+  Rng rng(32);
+  const auto x = random_vec(n(), rng), y = random_vec(n(), rng);
+  std::vector<double> zi(n()), zn(n());
+  Context ci = interp_ctx(), cx = native_ctx();
+  axpy_out(ci, x, -1.3, y, zi);
+  axpy_out(cx, x, -1.3, y, zn);
+  expect_bits_equal(zi, zn);
+  expect_counts_equal(ci.take_counts(), cx.take_counts());
+}
+
+TEST_P(FusedKernelSweep, PUpdate) {
+  Rng rng(33);
+  const auto r = random_vec(n(), rng), v = random_vec(n(), rng);
+  auto pi = random_vec(n(), rng), pn = pi;
+  Context ci = interp_ctx(), cx = native_ctx();
+  p_update(ci, r, 0.8, 0.45, v, pi);
+  p_update(cx, r, 0.8, 0.45, v, pn);
+  expect_bits_equal(pi, pn);
+  expect_counts_equal(ci.take_counts(), cx.take_counts());
+}
+
+TEST_P(FusedKernelSweep, HadamardDot2) {
+  Rng rng(34);
+  const auto m = random_vec(n(), rng), r = random_vec(n(), rng);
+  std::vector<double> zi(n()), zn(n());
+  Context ci = interp_ctx(), cx = native_ctx();
+  DdAccumulator rzi, rri, rzn, rrn;
+  hadamard_dot2(ci, m, r, zi, rzi, rri);
+  hadamard_dot2(cx, m, r, zn, rzn, rrn);
+  expect_bits_equal(zi, zn);
+  EXPECT_EQ(rzi.value(), rzn.value());
+  EXPECT_EQ(rri.value(), rrn.value());
+  expect_counts_equal(ci.take_counts(), cx.take_counts());
+}
+
+TEST_P(FusedKernelSweep, HadamardUpdateDot2) {
+  Rng rng(38);
+  const auto m = random_vec(n(), rng), q = random_vec(n(), rng);
+  auto ri = random_vec(n(), rng), rn = ri;
+  std::vector<double> zi(n()), zn(n());
+  Context ci = interp_ctx(), cx = native_ctx();
+  DdAccumulator rzi, rri, rzn, rrn;
+  hadamard_update_dot2(ci, m, -0.6, q, ri, zi, rzi, rri);
+  hadamard_update_dot2(cx, m, -0.6, q, rn, zn, rzn, rrn);
+  expect_bits_equal(ri, rn);
+  expect_bits_equal(zi, zn);
+  EXPECT_EQ(rzi.value(), rzn.value());
+  EXPECT_EQ(rri.value(), rrn.value());
+  expect_counts_equal(ci.take_counts(), cx.take_counts());
+
+  // And the composite == DAXPY ; HADAMARD ; compensated {z·r, r·r}.
+  Context plain = native_ctx();
+  auto rr2 = ri;
+  rr2 = random_vec(n(), rng);
+  auto r_ref = rr2, r_fused = rr2;
+  std::vector<double> z_ref(n()), z_fused(n());
+  DdAccumulator rz_f, rr_f;
+  hadamard_update_dot2(cx, m, -0.6, q, r_fused, z_fused, rz_f, rr_f);
+  daxpy(plain, -0.6, q, r_ref);
+  hadamard(plain, m, r_ref, z_ref);
+  expect_bits_equal(r_fused, r_ref);
+  expect_bits_equal(z_fused, z_ref);
+  DdAccumulator rz_ref, rr_ref;
+  for (std::size_t i = 0; i < n(); ++i) {
+    rz_ref.add(z_ref[i] * r_ref[i]);
+    rr_ref.add(r_ref[i] * r_ref[i]);
+  }
+  EXPECT_EQ(rz_f.value(), rz_ref.value());
+  EXPECT_EQ(rr_f.value(), rr_ref.value());
+  (void)cx.take_counts();
+  (void)plain.take_counts();
+}
+
+/// Shared operands for the stencil composites; xc has a ghost each side.
+/// Buffers are padded by one element so .data() stays non-null at n = 0
+/// (tile rows are never empty in production, but the kernels' empty-loop
+/// behaviour is still pinned); spans are built at the true length.
+struct StencilOperands {
+  std::size_t n;
+  std::vector<double> cc, cw, ce, cs, cn, csp, xc, xs, xn, xo, b, w;
+
+  StencilOperands(std::size_t n_, Rng& rng)
+      : n(n_),
+        cc(random_vec(n + 1, rng)),
+        cw(random_vec(n + 1, rng)),
+        ce(random_vec(n + 1, rng)),
+        cs(random_vec(n + 1, rng)),
+        cn(random_vec(n + 1, rng)),
+        csp(random_vec(n + 1, rng)),
+        xc(random_vec(n + 2, rng)),
+        xs(random_vec(n + 1, rng)),
+        xn(random_vec(n + 1, rng)),
+        xo(random_vec(n + 1, rng)),
+        b(random_vec(n + 1, rng)),
+        w(random_vec(n + 1, rng)) {}
+
+  std::span<const double> s(const std::vector<double>& v) const {
+    return {v.data(), n};
+  }
+};
+
+TEST_P(FusedKernelSweep, StencilDotSelfAndOther) {
+  Rng rng(35);
+  StencilOperands op(n(), rng);
+  for (const bool coupled : {false, true}) {
+    for (const bool self : {true, false}) {
+      std::vector<double> yi(n()), yn(n());
+      Context ci = interp_ctx(), cx = native_ctx();
+      DdAccumulator di, dn;
+      const double* csp = coupled ? op.csp.data() : nullptr;
+      const double* xo = coupled ? op.xo.data() : nullptr;
+      const double* wi = self ? op.xc.data() + 1 : op.w.data();
+      stencil_row_fused(ci, op.s(op.cc), op.s(op.cw), op.s(op.ce),
+                        op.s(op.cs), op.s(op.cn), op.xc.data() + 1,
+                        op.xs.data(), op.xn.data(), csp, xo, nullptr, wi, &di,
+                        yi);
+      stencil_row_fused(cx, op.s(op.cc), op.s(op.cw), op.s(op.ce),
+                        op.s(op.cs), op.s(op.cn), op.xc.data() + 1,
+                        op.xs.data(), op.xn.data(), csp, xo, nullptr, wi, &dn,
+                        yn);
+      expect_bits_equal(yi, yn);
+      EXPECT_EQ(di.value(), dn.value());
+      expect_counts_equal(ci.take_counts(), cx.take_counts());
+    }
+  }
+}
+
+TEST_P(FusedKernelSweep, StencilSub) {
+  Rng rng(36);
+  StencilOperands op(n(), rng);
+  for (const bool coupled : {false, true}) {
+    std::vector<double> ri(n()), rn(n());
+    Context ci = interp_ctx(), cx = native_ctx();
+    const double* csp = coupled ? op.csp.data() : nullptr;
+    const double* xo = coupled ? op.xo.data() : nullptr;
+    stencil_row_fused(ci, op.s(op.cc), op.s(op.cw), op.s(op.ce), op.s(op.cs),
+                      op.s(op.cn), op.xc.data() + 1, op.xs.data(),
+                      op.xn.data(), csp, xo, op.b.data(), nullptr, nullptr,
+                      ri);
+    stencil_row_fused(cx, op.s(op.cc), op.s(op.cw), op.s(op.ce), op.s(op.cs),
+                      op.s(op.cn), op.xc.data() + 1, op.xs.data(),
+                      op.xn.data(), csp, xo, op.b.data(), nullptr, nullptr,
+                      rn);
+    expect_bits_equal(ri, rn);
+    expect_counts_equal(ci.take_counts(), cx.take_counts());
+  }
+}
+
+/// Every composite must reproduce its unfused kernel chain bit-for-bit —
+/// this is what licenses --fuse on to claim "numerically pinned".
+TEST_P(FusedKernelSweep, CompositesMatchUnfusedChains) {
+  Rng rng(37);
+  StencilOperands op(n(), rng);
+  Context fused = native_ctx(), plain = native_ctx();
+  const auto cc = op.s(op.cc), cw = op.s(op.cw), ce = op.s(op.ce),
+             cs = op.s(op.cs), cn = op.s(op.cn), b = op.s(op.b),
+             w = op.s(op.w);
+
+  // DAXPY₂ == DAXPY ; DAXPY.
+  {
+    std::vector<double> xf(b.begin(), b.end()), xr = xf;
+    std::vector<double> rf(w.begin(), w.end()), rr = rf;
+    daxpy2(fused, 0.9, cc, xf, -0.9, cw, rf);
+    daxpy(plain, 0.9, cc, xr);
+    daxpy(plain, -0.9, cw, rr);
+    expect_bits_equal(xf, xr);
+    expect_bits_equal(rf, rr);
+  }
+  // AxpyOut == COPY ; DAXPY.
+  {
+    std::vector<double> zf(n()), zr(n());
+    axpy_out(fused, cc, -0.4, cw, zf);
+    copy(plain, cc, zr);
+    daxpy(plain, -0.4, cw, zr);
+    expect_bits_equal(zf, zr);
+  }
+  // PUpdate == DAXPY ; XPBY.
+  {
+    std::vector<double> pf(cs.begin(), cs.end()), pr = pf;
+    p_update(fused, cc, 1.7, 0.3, cw, pf);
+    daxpy(plain, -0.3, cw, pr);
+    xpby(plain, cc, 1.7, pr);
+    expect_bits_equal(pf, pr);
+  }
+  // HadamardDot2 == HADAMARD ; compensated {z·r, r·r}.
+  {
+    std::vector<double> zf(n()), zr(n());
+    DdAccumulator rz, rr2;
+    hadamard_dot2(fused, cc, cw, zf, rz, rr2);
+    hadamard(plain, cc, cw, zr);
+    expect_bits_equal(zf, zr);
+    DdAccumulator rz_ref, rr_ref;
+    for (std::size_t i = 0; i < n(); ++i) {
+      rz_ref.add(cw[i] * zr[i]);
+      rr_ref.add(cw[i] * cw[i]);
+    }
+    EXPECT_EQ(rz.value(), rz_ref.value());
+    EXPECT_EQ(rr2.value(), rr_ref.value());
+  }
+  // Fused residual == STENCIL ; SUB  (uncoupled and coupled).
+  for (const bool coupled : {false, true}) {
+    std::vector<double> rf(n()), qr(n()), rr3(n());
+    stencil_row_fused(fused, cc, cw, ce, cs, cn, op.xc.data() + 1,
+                      op.xs.data(), op.xn.data(),
+                      coupled ? op.csp.data() : nullptr,
+                      coupled ? op.xo.data() : nullptr, op.b.data(), nullptr,
+                      nullptr, rf);
+    stencil_row(plain, cc, cw, ce, cs, cn, op.xc.data() + 1, op.xs.data(),
+                op.xn.data(), qr);
+    if (coupled) coupling_row(plain, op.s(op.csp), op.xo.data(), qr);
+    sub(plain, b, qr, rr3);
+    expect_bits_equal(rf, rr3);
+  }
+  // Fused MATVEC+DPROD == STENCIL ; compensated w·y.
+  {
+    std::vector<double> yf(n()), yr(n());
+    DdAccumulator df;
+    stencil_row_fused(fused, cc, cw, ce, cs, cn, op.xc.data() + 1,
+                      op.xs.data(), op.xn.data(), nullptr, nullptr, nullptr,
+                      op.w.data(), &df, yf);
+    stencil_row(plain, cc, cw, ce, cs, cn, op.xc.data() + 1, op.xs.data(),
+                op.xn.data(), yr);
+    expect_bits_equal(yf, yr);
+    DdAccumulator dr;
+    for (std::size_t i = 0; i < n(); ++i) dr.add(w[i] * yr[i]);
+    EXPECT_EQ(df.value(), dr.value());
+  }
+  (void)fused.take_counts();
+  (void)plain.take_counts();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVlsAndTails, FusedKernelSweep,
+    ::testing::Combine(::testing::Values(128u, 256u, 512u, 1024u, 2048u),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{2}, std::size_t{3},
+                                         std::size_t{4}, std::size_t{5},
+                                         std::size_t{6}, std::size_t{7})));
+
+// --- 2. solver-level fuse on/off identity -------------------------------------
+
+struct Problem {
+  grid::Grid2D g;
+  grid::Decomposition d;
+  StencilOperator A;
+
+  Problem(int nx1, int nx2, int ns, int px1 = 1, int px2 = 1)
+      : g(nx1, nx2, 0.0, 1.0, 0.0, 1.0),
+        d(g, mpisim::CartTopology(px1, px2)),
+        A(g, d, ns) {}
+};
+
+double zone_noise(std::uint64_t seed, int s, int i, int j) {
+  Rng r(seed ^ (static_cast<std::uint64_t>(s) * 73856093u +
+                static_cast<std::uint64_t>(i) * 19349663u +
+                static_cast<std::uint64_t>(j) * 83492791u));
+  return r.uniform();
+}
+
+void fill_operator(StencilOperator& A, std::uint64_t seed, double skew = 0.0) {
+  const auto& dec = A.decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    for (int s = 0; s < A.ns(); ++s) {
+      auto cc = A.cc().view(r, s), cw = A.cw().view(r, s),
+           ce = A.ce().view(r, s), cs = A.cs().view(r, s),
+           cn = A.cn().view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          const int gi = e.i0 + li, gj = e.j0 + lj;
+          const double w = 0.5 + zone_noise(seed, s, gi, gj);
+          cw(li, lj) = -w * (1.0 + skew * zone_noise(seed + 1, s, gi, gj));
+          ce(li, lj) = -w;
+          cs(li, lj) = -w * (1.0 - skew * zone_noise(seed + 2, s, gi, gj));
+          cn(li, lj) = -w;
+          cc(li, lj) = 4.5 * w + 0.5;
+        }
+      }
+    }
+  }
+  A.zero_boundary_coefficients();
+}
+
+void fill_coupling(StencilOperator& A, std::uint64_t seed) {
+  A.enable_coupling();
+  const auto& dec = A.decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& e = dec.extent(r);
+    for (int s = 0; s < A.ns(); ++s) {
+      auto sp = A.csp().view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj)
+        for (int li = 0; li < e.ni; ++li)
+          sp(li, lj) = -0.1 * zone_noise(seed, s, e.i0 + li, e.j0 + lj);
+    }
+  }
+}
+
+void randomize(DistVector& v, std::uint64_t seed) {
+  auto& f = v.field();
+  for (int r = 0; r < f.decomp().nranks(); ++r) {
+    const grid::TileExtent& e = f.decomp().extent(r);
+    for (int s = 0; s < v.ns(); ++s) {
+      auto view = f.view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj)
+        for (int li = 0; li < e.ni; ++li)
+          view(li, lj) =
+              2.0 * zone_noise(seed, s, e.i0 + li, e.j0 + lj) - 1.0;
+    }
+  }
+}
+
+struct SolveOutcome {
+  SolveStats stats;
+  std::vector<double> x;
+};
+
+ExecContext make_ctx(VlaExecMode mode, FuseMode fuse) {
+  return ExecContext(VectorArch(512), nullptr, mode, fuse);
+}
+
+/// Fused and unfused solves must agree on everything observable from the
+/// algorithm: iterates, reduction count, residual, stop reason, solution
+/// bits — per solver, preconditioner, exec mode and tiling.
+void expect_same_trajectory(const SolveOutcome& off, const SolveOutcome& on,
+                            const std::string& label) {
+  EXPECT_EQ(off.stats.iterations, on.stats.iterations) << label;
+  EXPECT_EQ(off.stats.converged, on.stats.converged) << label;
+  EXPECT_EQ(off.stats.global_reductions, on.stats.global_reductions) << label;
+  EXPECT_EQ(off.stats.final_relative_residual,
+            on.stats.final_relative_residual)
+      << label;
+  EXPECT_STREQ(off.stats.stop_reason, on.stats.stop_reason) << label;
+  ASSERT_EQ(off.x.size(), on.x.size());
+  for (std::size_t i = 0; i < off.x.size(); ++i)
+    ASSERT_EQ(off.x[i], on.x[i]) << label << " zone " << i;
+}
+
+TEST(FusedSolvers, CgMatchesUnfusedAcrossPrecondsModesAndTilings) {
+  for (const auto mode : {VlaExecMode::Native, VlaExecMode::Interpret}) {
+    for (const std::string precond : {"jacobi", "spai0", "spai", "mg"}) {
+      for (const int px : {1, 2}) {
+        SolveOutcome out[2];
+        for (const auto fuse : {FuseMode::Off, FuseMode::On}) {
+          Problem prob(24, 16, 1, px, 1);
+          fill_operator(prob.A, 1234);
+          ExecContext ctx = make_ctx(mode, fuse);
+          auto M = make_preconditioner(precond, ctx, prob.A);
+          DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+          randomize(b, 99);
+          x.fill(ctx, 0.0);
+          CgSolver cg(prob.g, prob.d, 1);
+          SolveOptions opt;
+          opt.rel_tol = 1e-9;
+          auto& slot = out[fuse == FuseMode::On ? 1 : 0];
+          slot.stats = cg.solve(ctx, prob.A, *M, x, b, opt);
+          slot.x = x.field().gather_global();
+          EXPECT_TRUE(slot.stats.converged) << precond;
+        }
+        expect_same_trajectory(out[0], out[1],
+                               "cg/" + precond + "/px" + std::to_string(px) +
+                                   (mode == VlaExecMode::Native
+                                        ? "/native"
+                                        : "/interpret"));
+      }
+    }
+  }
+}
+
+TEST(FusedSolvers, BicgstabMatchesUnfusedWithCoupling) {
+  for (const auto mode : {VlaExecMode::Native, VlaExecMode::Interpret}) {
+    for (const bool ganged : {true, false}) {
+      for (const int px : {1, 2}) {
+        SolveOutcome out[2];
+        for (const auto fuse : {FuseMode::Off, FuseMode::On}) {
+          Problem prob(24, 16, 2, px, px == 2 ? 2 : 1);
+          fill_operator(prob.A, 777, 0.3);
+          fill_coupling(prob.A, 778);
+          ExecContext ctx = make_ctx(mode, fuse);
+          auto M = make_preconditioner("spai0", ctx, prob.A);
+          DistVector x(prob.g, prob.d, 2), b(prob.g, prob.d, 2);
+          randomize(b, 55);
+          x.fill(ctx, 0.0);
+          BicgstabSolver solver(prob.g, prob.d, 2);
+          SolveOptions opt;
+          opt.rel_tol = 1e-9;
+          opt.ganged = ganged;
+          auto& slot = out[fuse == FuseMode::On ? 1 : 0];
+          slot.stats = solver.solve(ctx, prob.A, *M, x, b, opt);
+          slot.x = x.field().gather_global();
+          EXPECT_TRUE(slot.stats.converged);
+        }
+        expect_same_trajectory(
+            out[0], out[1],
+            std::string("bicgstab/") + (ganged ? "ganged" : "classic") +
+                "/px" + std::to_string(px));
+      }
+    }
+  }
+}
+
+/// Fused results are also independent of the host-thread count (per-rank
+/// compensated partials merged in rank order, like dot_ganged).
+TEST(FusedSolvers, FusedTrajectoryInvariantUnderHostThreads) {
+  std::vector<double> reference;
+  for (const int threads : {1, 4}) {
+    set_host_threads(threads);
+    Problem prob(32, 16, 2, 2, 2);
+    fill_operator(prob.A, 4321, 0.2);
+    fill_coupling(prob.A, 4322);
+    ExecContext ctx = make_ctx(VlaExecMode::Native, FuseMode::On);
+    auto M = make_preconditioner("spai0", ctx, prob.A);
+    DistVector x(prob.g, prob.d, 2), b(prob.g, prob.d, 2);
+    randomize(b, 5);
+    x.fill(ctx, 0.0);
+    BicgstabSolver solver(prob.g, prob.d, 2);
+    const auto stats = solver.solve(ctx, prob.A, *M, x, b, {});
+    EXPECT_TRUE(stats.converged);
+    const auto field = x.field().gather_global();
+    if (reference.empty()) {
+      reference = field;
+    } else {
+      ASSERT_EQ(field.size(), reference.size());
+      for (std::size_t i = 0; i < field.size(); ++i)
+        ASSERT_EQ(field[i], reference[i]) << "threads=" << threads;
+    }
+  }
+  set_host_threads(0);
+}
+
+/// End-to-end: the full radiation driver under --fuse on reproduces the
+/// unfused trajectory bit-for-bit while every compiler profile's simulated
+/// clock gets strictly cheaper (fewer bytes moved, fewer instructions).
+TEST(FusedSolvers, SimulationPinnedAndSimulatedTimeReduced) {
+  core::RunConfig cfg;
+  cfg.nx1 = 48;
+  cfg.nx2 = 24;
+  cfg.ns = 2;
+  cfg.steps = 2;
+  cfg.compilers = {"cray", "gnu"};
+
+  cfg.fuse = "off";
+  core::Simulation unfused(cfg);
+  unfused.run();
+
+  cfg.fuse = "on";
+  core::Simulation fused(cfg);
+  fused.run();
+
+  const double eu = unfused.total_energy();
+  const double ef = fused.total_energy();
+  EXPECT_EQ(std::memcmp(&eu, &ef, sizeof eu), 0);
+  EXPECT_DOUBLE_EQ(unfused.analytic_error(), fused.analytic_error());
+  for (std::size_t p = 0; p < 2; ++p) {
+    EXPECT_LT(fused.elapsed(p), unfused.elapsed(p)) << "profile " << p;
+  }
+}
+
+// --- 3. BiCGSTAB edge paths & the stop-reason contract ------------------------
+
+TEST(BicgstabEdgePaths, ZeroRhsAllVariants) {
+  for (const bool ganged : {true, false}) {
+    for (const auto fuse : {FuseMode::Off, FuseMode::On}) {
+      Problem prob(16, 8, 1);
+      fill_operator(prob.A, 11);
+      ExecContext ctx = make_ctx(VlaExecMode::Native, fuse);
+      auto M = make_preconditioner("spai0", ctx, prob.A);
+      DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+      randomize(x, 3);  // non-zero guess must still collapse to x = 0
+      b.fill(ctx, 0.0);
+      BicgstabSolver solver(prob.g, prob.d, 1);
+      SolveOptions opt;
+      opt.ganged = ganged;
+      const auto stats = solver.solve(ctx, prob.A, *M, x, b, opt);
+      EXPECT_TRUE(stats.converged);
+      EXPECT_STREQ(stats.stop_reason, "zero rhs");
+      EXPECT_TRUE(stats.stop_reason_set());
+      for (const double v : x.field().gather_global()) EXPECT_EQ(v, 0.0);
+    }
+  }
+}
+
+TEST(BicgstabEdgePaths, ExactBreakdownFromConvergedGuess) {
+  // Starting from the exact solution makes r0 = 0, so ρ0 = r̂ᵀr0 = 0: the
+  // exact-breakdown path, reported as such rather than div-by-zero NaNs.
+  for (const bool ganged : {true, false}) {
+    for (const auto fuse : {FuseMode::Off, FuseMode::On}) {
+      Problem prob(16, 8, 1);
+      fill_operator(prob.A, 21);
+      ExecContext ctx = make_ctx(VlaExecMode::Native, fuse);
+      auto M = make_preconditioner("jacobi", ctx, prob.A);
+      DistVector xstar(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+      randomize(xstar, 7);
+      prob.A.apply(ctx, xstar, b);  // b = A·x*, then solve from x = x*
+      BicgstabSolver solver(prob.g, prob.d, 1);
+      SolveOptions opt;
+      opt.ganged = ganged;
+      const auto stats = solver.solve(ctx, prob.A, *M, xstar, b, opt);
+      EXPECT_STREQ(stats.stop_reason, "rho breakdown");
+      EXPECT_TRUE(stats.stop_reason_set());
+      EXPECT_EQ(stats.iterations, 1);
+    }
+  }
+}
+
+TEST(BicgstabEdgePaths, IndefiniteOperatorTerminatesWithReason) {
+  // Mixed-sign diagonal: BiCGSTAB may converge, stagnate or break down,
+  // but it must terminate with a definitive reason and finite numbers.
+  for (const bool ganged : {true, false}) {
+    for (const auto fuse : {FuseMode::Off, FuseMode::On}) {
+      Problem prob(16, 8, 1);
+      fill_operator(prob.A, 31);
+      for (int lj = 0; lj < 8; ++lj)
+        for (int li = 0; li < 8; ++li) {
+          auto cc = prob.A.cc().view(0, 0);
+          cc(li, lj) = -cc(li, lj);
+        }
+      ExecContext ctx = make_ctx(VlaExecMode::Native, fuse);
+      auto M = make_preconditioner("identity", ctx, prob.A);
+      DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+      randomize(b, 13);
+      x.fill(ctx, 0.0);
+      BicgstabSolver solver(prob.g, prob.d, 1);
+      SolveOptions opt;
+      opt.ganged = ganged;
+      opt.max_iterations = 50;
+      const auto stats = solver.solve(ctx, prob.A, *M, x, b, opt);
+      EXPECT_TRUE(stats.stop_reason_set())
+          << (ganged ? "ganged" : "classic");
+      EXPECT_TRUE(std::isfinite(stats.final_relative_residual));
+    }
+  }
+}
+
+/// The CG analogue paths, pinning the satellite contract: stop_reason is
+/// never null/empty after any solve() exit.
+TEST(StopReason, NeverEmptyAcrossCgExitPaths) {
+  // Tolerance reached.
+  {
+    Problem prob(16, 8, 1);
+    fill_operator(prob.A, 41);
+    ExecContext ctx = make_ctx(VlaExecMode::Native, FuseMode::Off);
+    auto M = make_preconditioner("jacobi", ctx, prob.A);
+    DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+    randomize(b, 17);
+    x.fill(ctx, 0.0);
+    CgSolver cg(prob.g, prob.d, 1);
+    const auto stats = cg.solve(ctx, prob.A, *M, x, b, {});
+    EXPECT_STREQ(stats.stop_reason, "tolerance reached");
+    EXPECT_TRUE(stats.stop_reason_set());
+  }
+  // Max iterations.
+  {
+    Problem prob(16, 8, 1);
+    fill_operator(prob.A, 42);
+    ExecContext ctx = make_ctx(VlaExecMode::Native, FuseMode::Off);
+    auto M = make_preconditioner("identity", ctx, prob.A);
+    DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+    randomize(b, 19);
+    x.fill(ctx, 0.0);
+    CgSolver cg(prob.g, prob.d, 1);
+    SolveOptions opt;
+    opt.max_iterations = 1;
+    opt.rel_tol = 1e-15;
+    const auto stats = cg.solve(ctx, prob.A, *M, x, b, opt);
+    EXPECT_STREQ(stats.stop_reason, "max iterations");
+    EXPECT_TRUE(stats.stop_reason_set());
+  }
+  // Zero rhs.
+  {
+    Problem prob(16, 8, 1);
+    fill_operator(prob.A, 43);
+    ExecContext ctx = make_ctx(VlaExecMode::Native, FuseMode::Off);
+    auto M = make_preconditioner("jacobi", ctx, prob.A);
+    DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+    randomize(x, 23);
+    b.fill(ctx, 0.0);
+    CgSolver cg(prob.g, prob.d, 1);
+    const auto stats = cg.solve(ctx, prob.A, *M, x, b, {});
+    EXPECT_STREQ(stats.stop_reason, "zero rhs");
+    EXPECT_TRUE(stats.stop_reason_set());
+  }
+  // Indefinite operator.
+  {
+    Problem prob(16, 8, 1);
+    fill_operator(prob.A, 44);
+    auto cc = prob.A.cc().view(0, 0);
+    for (int lj = 0; lj < 8; ++lj)
+      for (int li = 0; li < 16; ++li) cc(li, lj) = -cc(li, lj);
+    ExecContext ctx = make_ctx(VlaExecMode::Native, FuseMode::Off);
+    auto M = make_preconditioner("identity", ctx, prob.A);
+    DistVector x(prob.g, prob.d, 1), b(prob.g, prob.d, 1);
+    randomize(b, 29);
+    x.fill(ctx, 0.0);
+    CgSolver cg(prob.g, prob.d, 1);
+    const auto stats = cg.solve(ctx, prob.A, *M, x, b, {});
+    EXPECT_STREQ(stats.stop_reason, "indefinite operator");
+    EXPECT_TRUE(stats.stop_reason_set());
+  }
+}
+
+// --- 4. memo-cache observability (perfmon satellite) --------------------------
+
+TEST(MemoCache, CountersTrackHitsAndMisses) {
+  Context ctx(VectorArch(512), VlaExecMode::Native);
+  EXPECT_EQ(ctx.memo_hits(), 0u);
+  EXPECT_EQ(ctx.memo_misses(), 0u);
+  std::vector<double> x(100, 1.0), y(100, 2.0);
+  daxpy(ctx, 2.0, x, y);
+  EXPECT_EQ(ctx.memo_misses(), 1u);
+  EXPECT_EQ(ctx.memo_hits(), 0u);
+  for (int i = 0; i < 5; ++i) daxpy(ctx, 2.0, x, y);
+  EXPECT_EQ(ctx.memo_misses(), 1u);
+  EXPECT_EQ(ctx.memo_hits(), 5u);
+  // Forks share the fork family's counters.
+  Context child = ctx.fork();
+  daxpy(child, 2.0, x, y);
+  EXPECT_EQ(ctx.memo_hits(), 6u);
+  (void)ctx.take_counts();
+  (void)child.take_counts();
+
+  const auto before = perfmon::MemoCacheStats::of(ctx);
+  daxpy(ctx, 2.0, x, y);
+  (void)ctx.take_counts();
+  const auto delta = perfmon::MemoCacheStats::of(ctx).since(before);
+  EXPECT_EQ(delta.hits, 1u);
+  EXPECT_EQ(delta.misses, 0u);
+
+  const auto stats = perfmon::MemoCacheStats::of(ctx);
+  EXPECT_EQ(stats.probes(), stats.hits + stats.misses);
+  EXPECT_GT(stats.hit_rate(), 0.5);
+  const std::string line = perfmon::format_memo_cache(stats);
+  EXPECT_NE(line.find("memo cache:"), std::string::npos);
+  EXPECT_NE(line.find("hit rate"), std::string::npos);
+}
+
+TEST(MemoCache, InterpretModeNeverProbes) {
+  Context ctx(VectorArch(512), VlaExecMode::Interpret);
+  std::vector<double> x(64, 1.0), y(64, 2.0);
+  daxpy(ctx, 2.0, x, y);
+  (void)ctx.take_counts();
+  EXPECT_EQ(ctx.memo_hits() + ctx.memo_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace v2d::linalg

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the committed bench baselines.
+
+Compares a freshly produced bench JSON against the baseline committed
+under bench/baselines/, row by row.  Two kinds of checks run:
+
+  * absolute floors — the properties a PR must never regress past
+    (fusion >= 1.3x host speedup on memory-bound sizes, reduced simulated
+    memory cycles/bytes, pinned trajectories; native fast path >= 5x on
+    the hot Table II kernels);
+  * relative-to-baseline — each row's speedup may not drop below
+    (1 - tol) x its committed value.  Host timings on shared CI runners
+    are noisy, so the default tolerance is generous; the floors do the
+    hard gating.
+
+Simulated quantities (cycles, bytes, iteration counts) are deterministic,
+so those compare near-exactly; drift there means the pricing or the
+solver trajectory changed and the baseline must be regenerated
+deliberately (rerun the bench and commit the new JSON with the change
+that explains it).
+
+Usage:
+  tools/check_bench.py fusion  BENCH_fusion.json  bench/baselines/BENCH_fusion.json
+  tools/check_bench.py kernels BENCH_kernels.json bench/baselines/BENCH_kernels.json
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic fields drift only when code meaningfully changes; allow a
+# hair of slack for platform libm differences in iteration counts.
+SIM_REL_TOL = 0.02
+
+# Host-speedup floors (mirror the in-binary gates).
+FUSION_GATE_SIZE = 256
+FUSION_GATE_SPEEDUP = 1.3
+KERNELS_GATE_N = 40000
+KERNELS_GATE_SPEEDUP = 5.0
+KERNELS_HOT = {"daxpy", "dprod", "matvec"}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def index(rows, key_fields):
+    out = {}
+    for row in rows:
+        out[tuple(row[k] for k in key_fields)] = row
+    return out
+
+
+def check_fusion(current, baseline, tol):
+    errors = []
+    cur = index(current, ("solver", "n", "vl_bits", "precond"))
+    base = index(baseline, ("solver", "n", "vl_bits", "precond"))
+    missing = set(base) - set(cur)
+    if missing:
+        errors.append(f"rows missing from current run: {sorted(missing)}")
+    for key, row in sorted(cur.items()):
+        tag = f"fusion {key[0]}/{key[1]}x{key[1]}@vl{key[2]}/{key[3]}"
+        if not row["identical"]:
+            errors.append(f"{tag}: fused trajectory diverged from unfused")
+        if row["mem_cycles_fused"] >= row["mem_cycles_unfused"]:
+            errors.append(f"{tag}: simulated memory cycles not reduced")
+        if row["bytes_fused"] >= row["bytes_unfused"]:
+            errors.append(f"{tag}: priced bytes not reduced")
+        if row["n"] >= FUSION_GATE_SIZE:
+            if row["host_speedup"] < FUSION_GATE_SPEEDUP:
+                errors.append(
+                    f"{tag}: host speedup {row['host_speedup']:.2f} "
+                    f"< floor {FUSION_GATE_SPEEDUP}")
+        ref = base.get(key)
+        if ref is None:
+            continue
+        floor = ref["host_speedup"] * (1.0 - tol)
+        if row["host_speedup"] < floor:
+            errors.append(
+                f"{tag}: host speedup {row['host_speedup']:.2f} < "
+                f"baseline {ref['host_speedup']:.2f} - {tol:.0%}")
+        for field in ("iters", "bytes_unfused", "bytes_fused"):
+            a, b = row[field], ref[field]
+            if abs(a - b) > SIM_REL_TOL * max(abs(b), 1):
+                errors.append(
+                    f"{tag}: deterministic field '{field}' drifted "
+                    f"({b} -> {a}); regenerate the baseline deliberately")
+    return errors
+
+
+def check_kernels(current, baseline, tol):
+    errors = []
+    cur = index(current, ("kernel", "n", "vl_bits"))
+    base = index(baseline, ("kernel", "n", "vl_bits"))
+    missing = set(base) - set(cur)
+    if missing:
+        errors.append(f"rows missing from current run: {sorted(missing)}")
+    for key, row in sorted(cur.items()):
+        kernel, n, vl = key
+        tag = f"kernels {kernel}@n={n}/vl{vl}"
+        if kernel in KERNELS_HOT and n >= KERNELS_GATE_N:
+            if row["speedup"] < KERNELS_GATE_SPEEDUP:
+                errors.append(
+                    f"{tag}: native speedup {row['speedup']:.1f} "
+                    f"< floor {KERNELS_GATE_SPEEDUP}")
+        ref = base.get(key)
+        if ref is None:
+            continue
+        floor = ref["speedup"] * (1.0 - tol)
+        if row["speedup"] < floor:
+            errors.append(
+                f"{tag}: native speedup {row['speedup']:.1f} < "
+                f"baseline {ref['speedup']:.1f} - {tol:.0%}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("kind", choices=("fusion", "kernels"))
+    ap.add_argument("current", help="freshly produced bench JSON")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--tol", type=float, default=0.35,
+                    help="relative host-speedup tolerance vs baseline "
+                         "(default 0.35 — CI runners are noisy; the "
+                         "absolute floors do the hard gating)")
+    args = ap.parse_args()
+
+    check = check_fusion if args.kind == "fusion" else check_kernels
+    errors = check(load(args.current), load(args.baseline), args.tol)
+    if errors:
+        print(f"check_bench: {len(errors)} regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench: {args.kind} OK "
+          f"({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
