@@ -1,0 +1,97 @@
+/// \file v2d.cpp
+/// \brief The unified V2D driver: any registered scenario, one binary.
+///
+/// Replaces the per-example wiring: every workload in the ScenarioRegistry
+/// runs through the same priced driver spine with the same knobs.
+///
+///   ./v2d --list-problems
+///   ./v2d --problem gaussian-pulse --steps 20
+///   ./v2d --problem sedov-radhydro --nx1 48 --nx2 48 --steps 15
+///   ./v2d --problem hotspot-absorber --steps 10 --checkpoint run.h5l \
+///         --checkpoint-every 5
+///   ./v2d --problem hotspot-absorber --steps 20 --restart run.h5l
+///
+/// `--list-problems` prints one "name<TAB>description" line per catalog
+/// entry (machine-friendly: CI iterates `v2d --list-problems | cut -f1`).
+
+#include <iostream>
+
+#include "core/v2d.hpp"
+#include "scenario/registry.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v2d;
+  Options opt;
+  core::RunConfig::register_options(opt);
+  opt.add_flag("list-problems", "print the scenario catalog and exit");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("v2d");
+    return 1;
+  }
+
+  auto& registry = scenario::ScenarioRegistry::instance();
+  if (opt.get_bool("list-problems")) {
+    for (const auto& name : registry.names())
+      std::cout << name << '\t' << registry.description(name) << '\n';
+    return 0;
+  }
+
+  try {
+    const core::RunConfig cfg = core::RunConfig::from_options(opt);
+    core::Simulation sim(cfg);
+    if (!cfg.restart_path.empty()) sim.restart(cfg.restart_path);
+
+    std::cout << "v2d: problem = " << cfg.problem << " ("
+              << registry.description(cfg.problem) << ")\n"
+              << "     " << cfg.nx1 << "x" << cfg.nx2 << "x" << cfg.ns
+              << " unknowns, " << cfg.nranks() << " simulated rank(s) ("
+              << cfg.nprx1 << "x" << cfg.nprx2 << ")";
+    if (sim.steps_taken() > 0)
+      std::cout << ", restarted at step " << sim.steps_taken();
+    std::cout << "\n\n";
+
+    const int total = cfg.steps;
+    const int stride = std::max(1, (total - sim.steps_taken()) / 10);
+    sim.run([&](const rad::StepStats& stats) {
+      const int n = sim.steps_taken();
+      if (n % stride == 0 || n == total) {
+        std::cout << "step " << n << ": t = " << sim.time()
+                  << ", iterations = " << stats.total_iterations()
+                  << ", total energy = " << sim.total_energy() << '\n';
+      }
+    });
+
+    std::cout << "\nscenario check (analytic error / conservation drift): "
+              << sim.analytic_error() << '\n';
+    if (!cfg.checkpoint_path.empty())
+      std::cout << "checkpoint written to " << cfg.checkpoint_path << '\n';
+
+    TableWriter table("\nSimulated execution (per compiler profile)");
+    table.set_columns({"profile", "time (s)", "flops", "bytes moved"});
+    for (std::size_t p = 0; p < sim.exec().nprofiles(); ++p) {
+      const auto led = sim.exec().merged_ledger(p);
+      const double elapsed = sim.elapsed(p);
+      table.add_row({sim.exec().profile(p).name(),
+                     TableWriter::num(elapsed, 3),
+                     elapsed > 0.0
+                         ? units::rate(static_cast<double>(led.total_flops()) /
+                                           elapsed,
+                                       "flop")
+                         : "-",
+                     units::bytes(static_cast<double>(led.total_bytes()))});
+    }
+    std::cout << table.str();
+    std::cout << "\nTAU-style call-site profile ("
+              << sim.exec().profile(0).name() << "):\n"
+              << sim.profiler(0).report();
+  } catch (const Error& e) {
+    std::cerr << "v2d: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

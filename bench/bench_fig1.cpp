@@ -16,6 +16,7 @@
 #include "core/v2d.hpp"
 #include "linalg/stencil_op.hpp"
 #include "rad/fld.hpp"
+#include "rad/gaussian.hpp"
 #include "support/options.hpp"
 
 int main(int argc, char** argv) {

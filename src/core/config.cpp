@@ -3,13 +3,15 @@
 #include <sstream>
 
 #include "linalg/exec_context.hpp"
+#include "scenario/registry.hpp"
 #include "support/error.hpp"
 #include "vla/vla.hpp"
 
 namespace v2d::core {
 
 void RunConfig::register_options(Options& opt) {
-  opt.add("problem", "gaussian-pulse", "problem name (gaussian-pulse)");
+  opt.add("problem", "gaussian-pulse",
+          "problem name (see --list-problems / the ScenarioRegistry)");
   opt.add("nx1", "200", "zones in x1");
   opt.add("nx2", "100", "zones in x2");
   opt.add("ns", "2", "radiation species");
@@ -49,11 +51,16 @@ void RunConfig::register_options(Options& opt) {
           "(reference kernel-per-pass sequence)");
   opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
   opt.add("checkpoint-every", "0", "steps between checkpoints (0 = end only)");
+  opt.add("restart", "", "resume from this h5lite checkpoint (empty = fresh)");
 }
 
 RunConfig RunConfig::from_options(const Options& opt) {
   RunConfig c;
   c.problem = opt.get("problem");
+  // Fail at config build time, not at Simulation construction: an unknown
+  // problem name is a usage error and create() lists the catalog in its
+  // message (instantiating a Problem is cheap — it allocates no fields).
+  (void)scenario::ScenarioRegistry::instance().create(c.problem);
   c.nx1 = static_cast<int>(opt.get_int("nx1"));
   c.nx2 = static_cast<int>(opt.get_int("nx2"));
   c.ns = static_cast<int>(opt.get_int("ns"));
@@ -92,6 +99,7 @@ RunConfig RunConfig::from_options(const Options& opt) {
   (void)linalg::fuse_mode_from_name(c.fuse);  // validate early
   c.checkpoint_path = opt.get("checkpoint");
   c.checkpoint_every = static_cast<int>(opt.get_int("checkpoint-every"));
+  c.restart_path = opt.get("restart");
   return c;
 }
 

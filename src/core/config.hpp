@@ -12,7 +12,7 @@
 namespace v2d::core {
 
 struct RunConfig {
-  // --- problem ---
+  // --- problem (a ScenarioRegistry name; see src/scenario/) ---
   std::string problem = "gaussian-pulse";
   int nx1 = 200;  ///< paper's x1
   int nx2 = 100;  ///< paper's x2
@@ -68,6 +68,7 @@ struct RunConfig {
   // --- output ---
   std::string checkpoint_path;  ///< empty = no checkpoint
   int checkpoint_every = 0;     ///< steps between checkpoints (0 = end only)
+  std::string restart_path;     ///< resume from this checkpoint (empty = fresh)
 
   int nranks() const { return nprx1 * nprx2; }
 

@@ -1,6 +1,10 @@
 #include "core/v2d.hpp"
 
+#include <cstdio>
+#include <utility>
+
 #include "io/h5lite.hpp"
+#include "scenario/registry.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -16,27 +20,121 @@ std::vector<compiler::CodegenProfile> resolve_profiles(
   return out;
 }
 
-rad::OpacitySet make_opacities(const RunConfig& cfg) {
-  rad::OpacitySet opac(cfg.ns);
-  for (int s = 0; s < cfg.ns; ++s) {
-    // Total κ is split so absorption + scattering = kappa_total; the
-    // species differ slightly (multigroup: higher groups more opaque) so
-    // the two systems are genuinely distinct.
-    const double shade = 1.0 + 0.1 * s;
-    const double ka = cfg.kappa_absorb * shade;
-    opac.absorption(s) = rad::OpacityLaw::constant(ka);
-    opac.scattering(s) =
-        rad::OpacityLaw::constant(std::max(0.0, cfg.kappa_total * shade - ka));
+/// Serialize one rank's cost ledger: per region, one i64 dataset with the
+/// recorded instruction stream + communication tallies and one f64
+/// dataset with the priced cycles/seconds.  Everything round-trips
+/// bit-exactly (h5lite stores the native representations).
+///
+/// The layout is field-by-field; the static_asserts trip when a field is
+/// added to KernelCounts or RegionCost so this writer/reader pair cannot
+/// silently drop it (which would break restart bit-identity unnoticed).
+static_assert(sizeof(sim::KernelCounts) ==
+                  (2 * sim::kNumOpClasses + 4) * sizeof(std::uint64_t),
+              "KernelCounts changed shape: update the checkpoint ledger "
+              "serialization in core/v2d.cpp");
+static_assert(sizeof(sim::RegionCost) ==
+                  sizeof(sim::KernelCounts) + 5 * sizeof(double) +
+                      2 * sizeof(std::uint64_t),
+              "RegionCost changed shape: update the checkpoint ledger "
+              "serialization in core/v2d.cpp");
+
+void write_ledger(io::Group& group, const sim::CostLedger& ledger) {
+  for (const auto& [name, rc] : ledger.regions()) {
+    io::Group& rg = group.create_group(name);
+    std::vector<std::int64_t> u;
+    u.reserve(2 * sim::kNumOpClasses + 6);
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i)
+      u.push_back(static_cast<std::int64_t>(rc.counts.instr[i]));
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i)
+      u.push_back(static_cast<std::int64_t>(rc.counts.lanes[i]));
+    u.push_back(static_cast<std::int64_t>(rc.counts.bytes_read));
+    u.push_back(static_cast<std::int64_t>(rc.counts.bytes_written));
+    u.push_back(static_cast<std::int64_t>(rc.counts.elements));
+    u.push_back(static_cast<std::int64_t>(rc.counts.calls));
+    u.push_back(static_cast<std::int64_t>(rc.comm_messages));
+    u.push_back(static_cast<std::int64_t>(rc.comm_bytes));
+    rg.write("u", std::span<const std::int64_t>(u),
+             {static_cast<std::uint64_t>(u.size())});
+    const std::vector<double> f = {rc.compute_cycles, rc.memory_cycles,
+                                   rc.overhead_cycles, rc.total_cycles,
+                                   rc.comm_seconds};
+    rg.write("f", std::span<const double>(f),
+             {static_cast<std::uint64_t>(f.size())});
   }
-  return opac;
+}
+
+sim::CostLedger read_ledger(const io::Group& group) {
+  sim::CostLedger out;
+  for (const auto& [name, rg] : group.groups()) {
+    const io::Dataset& ud = rg->dataset("u");
+    const io::Dataset& fd = rg->dataset("f");
+    V2D_REQUIRE(ud.i64.size() == 2 * sim::kNumOpClasses + 6 &&
+                    fd.f64.size() == 5,
+                "checkpoint ledger region '" + name + "' has a bad shape");
+    sim::RegionCost rc;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i)
+      rc.counts.instr[i] = static_cast<std::uint64_t>(ud.i64[k++]);
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i)
+      rc.counts.lanes[i] = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.counts.bytes_read = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.counts.bytes_written = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.counts.elements = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.counts.calls = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.comm_messages = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.comm_bytes = static_cast<std::uint64_t>(ud.i64[k++]);
+    rc.compute_cycles = fd.f64[0];
+    rc.memory_cycles = fd.f64[1];
+    rc.overhead_cycles = fd.f64[2];
+    rc.total_cycles = fd.f64[3];
+    rc.comm_seconds = fd.f64[4];
+    out.set_region(name, rc);
+  }
+  return out;
+}
+
+/// The knobs that shape the trajectory and its pricing.  A restart is only
+/// bit-identical to an uninterrupted run when these match, so they are
+/// stored in the checkpoint and checked on resume.  Run-control knobs
+/// (steps, checkpoint cadence, restart path) and host-only knobs
+/// (host_threads, vla_exec — both provably bit-identical across settings)
+/// are deliberately not pinned.
+std::vector<std::pair<std::string, std::string>> pinned_knobs(
+    const RunConfig& cfg) {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  return {
+      {"dt", num(cfg.dt)},
+      {"kappa_total", num(cfg.kappa_total)},
+      {"kappa_absorb", num(cfg.kappa_absorb)},
+      {"exchange_kappa", num(cfg.exchange_kappa)},
+      {"limiter", std::to_string(static_cast<int>(cfg.limiter))},
+      {"rel_tol", num(cfg.rel_tol)},
+      {"max_iterations", std::to_string(cfg.max_iterations)},
+      {"ganged", std::to_string(cfg.ganged ? 1 : 0)},
+      {"preconditioner", cfg.preconditioner},
+      {"mg_coarse_size", std::to_string(cfg.mg_coarse_size)},
+      {"mg_levels", std::to_string(cfg.mg_levels)},
+      {"mg_nu_pre", std::to_string(cfg.mg_nu_pre)},
+      {"mg_nu_post", std::to_string(cfg.mg_nu_post)},
+      {"mg_smoother", cfg.mg_smoother},
+      {"mg_omega", num(cfg.mg_omega)},
+      {"mg_cheb_boost", num(cfg.mg_cheb_boost)},
+      {"mg_max_direct_zones", std::to_string(cfg.mg_max_direct_zones)},
+      {"vector_bits", std::to_string(cfg.vector_bits)},
+      {"fuse", cfg.fuse},
+  };
 }
 
 }  // namespace
 
 Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
     : cfg_(cfg),
-      // Aspect-matched domain: 2:1 box so dx1 == dx2 at 200×100.
-      grid_(cfg.nx1, cfg.nx2, -1.0, 1.0, -0.5, 0.5),
+      problem_(scenario::ScenarioRegistry::instance().create(cfg.problem)),
+      grid_(problem_->make_grid(cfg_)),
       dec_(grid_, mpisim::CartTopology(cfg.nprx1, cfg.nprx2)) {
   set_host_threads(cfg.host_threads);
   em_ = std::make_unique<mpisim::ExecModel>(
@@ -45,28 +143,28 @@ Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
                              vla::vla_exec_mode_from_name(cfg.vla_exec),
                              linalg::fuse_mode_from_name(cfg.fuse));
 
-  rad::FldConfig fld_cfg;
-  fld_cfg.limiter = cfg.limiter;
-  fld_cfg.include_absorption = cfg.kappa_absorb > 0.0;
-  fld_cfg.exchange_kappa = cfg.exchange_kappa;
-  rad::FldBuilder builder(grid_, dec_, cfg.ns, make_opacities(cfg), fld_cfg);
-
-  linalg::SolveOptions opt;
-  opt.rel_tol = cfg.rel_tol;
-  opt.max_iterations = cfg.max_iterations;
-  opt.ganged = cfg.ganged;
-  stepper_ = std::make_unique<rad::RadiationStepper>(
-      grid_, dec_, std::move(builder), opt, cfg.preconditioner,
-      cfg.mg_options());
-
-  e_ = std::make_unique<linalg::DistVector>(grid_, dec_, cfg.ns);
-  // The paper's test problem: 2-D Gaussian pulse of radiation.  D here is
-  // the unlimited diffusion coefficient c/(3κ_t) of species 0.
-  pulse_.d_coeff = fld_cfg.c_light / (3.0 * cfg.kappa_total);
-  pulse_.t0 = 1.0;
-  pulse_.fill(*e_, 0.0);
+  scenario::ProblemSetup setup;
+  setup.cfg = &cfg_;
+  setup.grid = &grid_;
+  setup.dec = &dec_;
+  setup.ctx = &ctx_;
+  problem_->initialize(setup);
 
   profilers_.resize(em_->nprofiles());
+}
+
+Simulation::~Simulation() = default;
+
+rad::RadiationStepper& Simulation::stepper() {
+  rad::RadiationStepper* s = problem_->stepper();
+  V2D_REQUIRE(s != nullptr, "the active problem has no radiation stepper");
+  return *s;
+}
+
+linalg::DistVector& Simulation::radiation() {
+  linalg::DistVector* e = problem_->radiation();
+  V2D_REQUIRE(e != nullptr, "the active problem has no radiation field");
+  return *e;
 }
 
 rad::StepStats Simulation::advance() {
@@ -74,8 +172,9 @@ rad::StepStats Simulation::advance() {
   for (std::size_t p = 0; p < em_->nprofiles(); ++p)
     before[p] = em_->elapsed(p);
 
-  rad::StepStats stats = stepper_->step(ctx_, *e_, cfg_.dt);
-  t_ += cfg_.dt;
+  const double dt = problem_->pick_dt(ctx_, cfg_);
+  rad::StepStats stats = problem_->advance(ctx_, dt);
+  t_ += dt;
   ++step_count_;
 
   for (std::size_t p = 0; p < em_->nprofiles(); ++p) {
@@ -91,32 +190,50 @@ rad::StepStats Simulation::advance() {
   return stats;
 }
 
-void Simulation::run() {
-  for (int s = 0; s < cfg_.steps; ++s) {
+void Simulation::run(
+    const std::function<void(const rad::StepStats&)>& on_step) {
+  while (step_count_ < cfg_.steps) {
     const auto stats = advance();
     V2D_CHECK(stats.all_converged(),
-              "BiCGSTAB failed to converge at step " +
+              "solver failed to converge at step " +
                   std::to_string(step_count_));
     if (!cfg_.checkpoint_path.empty() && cfg_.checkpoint_every > 0 &&
         step_count_ % cfg_.checkpoint_every == 0) {
       checkpoint(cfg_.checkpoint_path);
     }
+    if (on_step) on_step(stats);
   }
-  if (!cfg_.checkpoint_path.empty()) checkpoint(cfg_.checkpoint_path);
+  // Final checkpoint — skipped when the periodic cadence already wrote
+  // one for the last step (the duplicate would double-price the Io).
+  if (!cfg_.checkpoint_path.empty() && last_checkpoint_step_ != step_count_)
+    checkpoint(cfg_.checkpoint_path);
 }
 
 double Simulation::analytic_error() const {
-  return pulse_.rel_l2_error(*e_, t_);
+  return problem_->analytic_error(t_);
 }
 
-double Simulation::total_energy() const {
-  return rad::GaussianPulse::total_energy(*e_);
-}
+double Simulation::total_energy() const { return problem_->total_energy(); }
 
 void Simulation::checkpoint(const std::string& path) {
+  // Price the serialization first: every rank writes its slice of the
+  // problem payload through the (simulated) parallel filesystem path.
+  // Pricing precedes the execution-state capture below so the stored
+  // clocks/ledgers already include this very write — a restarted run
+  // resumes exactly where the continuing run stands.
+  const auto arrays = static_cast<std::uint64_t>(problem_->state_arrays());
+  for (int r = 0; r < dec_.nranks(); ++r) {
+    const grid::TileExtent& ext = dec_.extent(r);
+    const auto elements =
+        static_cast<std::uint64_t>(ext.ni) * ext.nj * arrays;
+    ctx_.commit_synthetic(r, compiler::KernelFamily::Io, "checkpoint",
+                          elements, 2, 8, 8, elements * 16);
+  }
+
   io::H5File file;
   io::Group& root = file.root();
   root.set_attr("code", std::string("v2dsve"));
+  root.set_attr("problem", std::string(problem_->name()));
   root.set_attr("time", t_);
   root.set_attr("step", static_cast<std::int64_t>(step_count_));
 
@@ -127,22 +244,86 @@ void Simulation::checkpoint(const std::string& path) {
   mesh.set_attr("nprx1", static_cast<std::int64_t>(cfg_.nprx1));
   mesh.set_attr("nprx2", static_cast<std::int64_t>(cfg_.nprx2));
 
-  io::Group& fields = root.create_group("fields");
-  const auto data = e_->field().gather_global();
-  fields.write("radiation_energy", std::span<const double>(data),
-               {static_cast<std::uint64_t>(cfg_.ns),
-                static_cast<std::uint64_t>(cfg_.nx2),
-                static_cast<std::uint64_t>(cfg_.nx1)});
-  file.save(path);
+  io::Group& knobs = root.create_group("config");
+  for (const auto& [name, value] : pinned_knobs(cfg_))
+    knobs.set_attr(name, value);
 
-  // Price the serialization: every rank writes its tile through the
-  // (simulated) parallel filesystem path.
-  for (int r = 0; r < dec_.nranks(); ++r) {
-    const grid::TileExtent& ext = dec_.extent(r);
-    const auto elements =
-        static_cast<std::uint64_t>(ext.ni) * ext.nj * cfg_.ns;
-    ctx_.commit_synthetic(r, compiler::KernelFamily::Io, "checkpoint",
-                          elements, 2, 8, 8, elements * 16);
+  io::Group& fields = root.create_group("fields");
+  problem_->write_state(fields);
+
+  io::Group& exec = root.create_group("exec");
+  exec.set_attr("nprofiles", static_cast<std::int64_t>(em_->nprofiles()));
+  for (std::size_t p = 0; p < em_->nprofiles(); ++p) {
+    io::Group& pg = exec.create_group("profile-" + std::to_string(p));
+    pg.set_attr("name", std::string(em_->profile(p).name()));
+    std::vector<double> clock;
+    clock.reserve(static_cast<std::size_t>(dec_.nranks()));
+    for (int r = 0; r < dec_.nranks(); ++r)
+      clock.push_back(em_->rank_time(p, r));
+    pg.write("clock", std::span<const double>(clock),
+             {static_cast<std::uint64_t>(clock.size())});
+    for (int r = 0; r < dec_.nranks(); ++r)
+      write_ledger(pg.create_group("ledger-" + std::to_string(r)),
+                   em_->ledger(p, r));
+  }
+
+  file.save(path);
+  // The duplicate-final-write suppression in run() only cares about the
+  // configured path; a manual checkpoint elsewhere must not mask it.
+  if (path == cfg_.checkpoint_path) last_checkpoint_step_ = step_count_;
+}
+
+void Simulation::restart(const std::string& path) {
+  const io::H5File file = io::H5File::load(path);
+  const io::Group& root = file.root();
+  V2D_REQUIRE(root.attr_str("code") == "v2dsve",
+              "not a v2dsve checkpoint: " + path);
+  V2D_REQUIRE(root.attr_str("problem") == cfg_.problem,
+              "checkpoint holds problem '" + root.attr_str("problem") +
+                  "' but the run is configured for '" + cfg_.problem + "'");
+  const io::Group& mesh = root.group("mesh");
+  V2D_REQUIRE(mesh.attr_i64("nx1") == cfg_.nx1 &&
+                  mesh.attr_i64("nx2") == cfg_.nx2 &&
+                  mesh.attr_i64("ns") == cfg_.ns &&
+                  mesh.attr_i64("nprx1") == cfg_.nprx1 &&
+                  mesh.attr_i64("nprx2") == cfg_.nprx2,
+              "checkpoint mesh does not match the configured run");
+  const io::Group& knobs = root.group("config");
+  for (const auto& [name, value] : pinned_knobs(cfg_)) {
+    V2D_REQUIRE(knobs.has_attr(name) && knobs.attr_str(name) == value,
+                "checkpoint knob '" + name + "' is " +
+                    (knobs.has_attr(name) ? knobs.attr_str(name)
+                                          : std::string("<missing>")) +
+                    " but the run is configured with " + value +
+                    "; a restart is only bit-identical under the same "
+                    "physics/solver/pricing knobs");
+  }
+
+  t_ = root.attr_f64("time");
+  step_count_ = static_cast<int>(root.attr_i64("step"));
+  // Resuming from the run's own configured checkpoint counts as that file
+  // being up to date; resuming from any other file must not suppress the
+  // configured path's final write.
+  last_checkpoint_step_ = path == cfg_.checkpoint_path ? step_count_ : -1;
+
+  problem_->read_state(root.group("fields"));
+
+  const io::Group& exec = root.group("exec");
+  V2D_REQUIRE(static_cast<std::size_t>(exec.attr_i64("nprofiles")) ==
+                  em_->nprofiles(),
+              "checkpoint profile count does not match the configured run");
+  for (std::size_t p = 0; p < em_->nprofiles(); ++p) {
+    const io::Group& pg = exec.group("profile-" + std::to_string(p));
+    V2D_REQUIRE(pg.attr_str("name") == em_->profile(p).name(),
+                "checkpoint profile order does not match --compilers");
+    const io::Dataset& clock = pg.dataset("clock");
+    V2D_REQUIRE(clock.f64.size() == static_cast<std::size_t>(dec_.nranks()),
+                "checkpoint clock vector does not match the rank count");
+    for (int r = 0; r < dec_.nranks(); ++r) {
+      em_->restore_rank(
+          p, r, clock.f64[static_cast<std::size_t>(r)],
+          read_ledger(pg.group("ledger-" + std::to_string(r))));
+    }
   }
 }
 

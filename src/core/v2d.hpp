@@ -2,13 +2,17 @@
 /// \file v2d.hpp
 /// \brief The V2D simulation driver: the paper's code under study.
 ///
-/// Wires the whole stack together for the radiation test problem: grid +
-/// NPRX1×NPRX2 decomposition, the multi-profile execution pricer, the FLD
-/// builder, the 3-solve radiation stepper, TAU-style per-call-site
-/// profilers (one per compiler profile), and h5lite checkpoints.  Running
-/// `steps` timesteps of the default configuration reproduces the paper's
+/// Wires the workload-agnostic spine together: grid + NPRX1×NPRX2
+/// decomposition, the multi-profile execution pricer, TAU-style
+/// per-call-site profilers (one per compiler profile), and h5lite
+/// checkpoint/restart.  Everything workload-specific — field setup,
+/// per-step physics, analytic references, checkpoint payloads — lives in
+/// the active scenario::Problem, looked up by RunConfig.problem in the
+/// ScenarioRegistry.  Running `steps` timesteps of the default
+/// configuration (problem = "gaussian-pulse") reproduces the paper's
 /// 300-linear-system workload.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,8 +24,8 @@
 #include "linalg/exec_context.hpp"
 #include "mpisim/exec_model.hpp"
 #include "perfmon/profiler.hpp"
-#include "rad/gaussian.hpp"
 #include "rad/radstep.hpp"
+#include "scenario/problem.hpp"
 #include "sim/machine.hpp"
 
 namespace v2d::core {
@@ -30,6 +34,7 @@ class Simulation {
 public:
   explicit Simulation(const RunConfig& cfg,
                       sim::MachineSpec machine = sim::MachineSpec::a64fx());
+  ~Simulation();
 
   const RunConfig& config() const { return cfg_; }
   const grid::Grid2D& grid() const { return grid_; }
@@ -37,18 +42,26 @@ public:
   mpisim::ExecModel& exec() { return *em_; }
   const mpisim::ExecModel& exec() const { return *em_; }
   linalg::ExecContext& context() { return ctx_; }
-  rad::RadiationStepper& stepper() { return *stepper_; }
-  linalg::DistVector& radiation() { return *e_; }
-  const rad::GaussianPulse& pulse() const { return pulse_; }
+
+  /// The active workload.
+  scenario::Problem& problem() { return *problem_; }
+  const scenario::Problem& problem() const { return *problem_; }
+
+  /// The problem's radiation stack (every built-in problem has one).
+  rad::RadiationStepper& stepper();
+  linalg::DistVector& radiation();
 
   double time() const { return t_; }
   int steps_taken() const { return step_count_; }
 
-  /// One timestep (3 solves); updates profilers and simulated clocks.
+  /// One timestep (the problem's operator-split cycle); updates profilers
+  /// and simulated clocks.
   rad::StepStats advance();
 
-  /// Run cfg.steps timesteps; returns per-step stats of the last step.
-  void run();
+  /// Run until cfg.steps timesteps have been taken (continuing from a
+  /// restart point, if any), writing checkpoints on the configured
+  /// cadence.  `on_step` (optional) observes each step's stats.
+  void run(const std::function<void(const rad::StepStats&)>& on_step = {});
 
   /// Simulated wall-clock under compiler profile p (the Table I number).
   double elapsed(std::size_t p) const { return em_->elapsed(p); }
@@ -58,29 +71,38 @@ public:
     return profilers_.at(p);
   }
 
-  /// Relative L2 error against the analytic pulse (meaningful only in the
-  /// unlimited, absorption-free configuration).
+  /// The problem's correctness number at the current time: analytic error
+  /// where a reference exists, relative conservation violation otherwise.
   double analytic_error() const;
 
-  /// Total radiation energy (conserved by the zero-flux discretization,
-  /// up to exchange with matter).
+  /// The problem's conserved diagnostic (total energy).
   double total_energy() const;
 
-  /// Write an h5lite checkpoint (priced as Io work).
+  /// Write an h5lite checkpoint: the Io work is priced first, then the
+  /// problem payload plus the full execution state (per-profile per-rank
+  /// clocks and ledgers) is serialized, so a restarted run resumes the
+  /// simulated machine exactly where the checkpoint left it.
   void checkpoint(const std::string& path);
+
+  /// Resume from a checkpoint written by the same configuration: restores
+  /// the problem state, step count, simulated time, and every profile's
+  /// per-rank clocks and ledgers bit-exactly.  The restart read itself is
+  /// not priced — the simulated machine persisted its state and continues
+  /// as if it never stopped.  (Host-side TAU profilers restart empty;
+  /// they profile the host session, not the simulated execution.)
+  void restart(const std::string& path);
 
 private:
   RunConfig cfg_;
+  std::unique_ptr<scenario::Problem> problem_;
   grid::Grid2D grid_;
   grid::Decomposition dec_;
   std::unique_ptr<mpisim::ExecModel> em_;
   linalg::ExecContext ctx_;
-  std::unique_ptr<rad::RadiationStepper> stepper_;
-  std::unique_ptr<linalg::DistVector> e_;
-  rad::GaussianPulse pulse_;
   std::vector<perfmon::Profiler> profilers_;
   double t_ = 0.0;
   int step_count_ = 0;
+  int last_checkpoint_step_ = -1;
 };
 
 }  // namespace v2d::core

@@ -272,4 +272,22 @@ std::vector<double> DistField::gather_global() const {
   return out;
 }
 
+void DistField::scatter_global(std::span<const double> data) {
+  V2D_REQUIRE(data.size() == static_cast<std::size_t>(ns_) * grid_->nx1() *
+                                 grid_->nx2(),
+              "scatter_global: payload size does not match the field");
+  par_ranks(*dec_, [&](int r) {
+    const TileExtent& e = dec_->extent(r);
+    for (int s = 0; s < ns_; ++s) {
+      TileView v = view(r, s);
+      for (int lj = 0; lj < e.nj; ++lj) {
+        for (int li = 0; li < e.ni; ++li) {
+          v(li, lj) = data[static_cast<std::size_t>(
+              grid_->linear_index(s, e.i0 + li, e.j0 + lj))];
+        }
+      }
+    }
+  });
+}
+
 }  // namespace v2d::grid

@@ -14,6 +14,7 @@
 /// domain-boundary ghosts.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "grid/decomp.hpp"
@@ -92,6 +93,12 @@ public:
   /// Gather the whole field (no ghosts) into a dense global array in
   /// dictionary order — used by checkpoints and validation.
   std::vector<double> gather_global() const;
+
+  /// Inverse of gather_global(): distribute a dense global array
+  /// (dictionary order, no ghosts) into the per-rank tiles.  Ghosts are
+  /// left untouched — callers refill them through the usual exchange/BC
+  /// path.  Used by checkpoint restart.
+  void scatter_global(std::span<const double> data);
 
 private:
   double* tile_origin(int rank, int s);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -74,13 +75,17 @@ void HydroSolver::fill_ghosts(ExecContext& ctx, HydroState& state) {
 
 double HydroSolver::cfl_dt(ExecContext& ctx, const HydroState& state) const {
   const grid::DistField& f = state.field();
-  double dt = std::numeric_limits<double>::max();
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  // Per-rank minima reduced in rank order: dt does not depend on the
+  // host-thread count.
+  std::vector<double> dt_r(static_cast<std::size_t>(dec_->nranks()),
+                           std::numeric_limits<double>::max());
+  linalg::par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     const grid::TileView rho = f.view(r, kRho);
     const grid::TileView m1 = f.view(r, kMom1);
     const grid::TileView m2 = f.view(r, kMom2);
     const grid::TileView en = f.view(r, kEner);
+    double dt = std::numeric_limits<double>::max();
     for (int lj = 0; lj < e.nj; ++lj) {
       for (int li = 0; li < e.ni; ++li) {
         const double d = rho(li, lj);
@@ -94,10 +99,13 @@ double HydroSolver::cfl_dt(ExecContext& ctx, const HydroState& state) const {
         dt = std::min(dt, grid_->dx2() / (std::fabs(u2) + c));
       }
     }
+    dt_r[static_cast<std::size_t>(r)] = dt;
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj;
-    ctx.commit_synthetic(r, KernelFamily::Hydro, "hydro-cfl", elements, 20, 32,
-                         0, elements * 32);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Hydro, "hydro-cfl", elements, 20,
+                          32, 0, elements * 32);
+  });
+  double dt = std::numeric_limits<double>::max();
+  for (const double v : dt_r) dt = std::min(dt, v);
   ctx.allreduce(sizeof(double));
   return cfl_ * dt;
 }
@@ -148,7 +156,9 @@ void HydroSolver::sweep(ExecContext& ctx, HydroState& state, double dt,
   const double dx = direction == 0 ? grid_->dx1() : grid_->dx2();
   const double lambda = dt / dx;
 
-  for (int r = 0; r < dec_->nranks(); ++r) {
+  // Rank tiles are disjoint and ghosts were filled above, so the sweeps of
+  // all simulated ranks run concurrently on the host pool.
+  linalg::par_ranks(ctx, *dec_, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec_->extent(r);
     grid::TileView rho = f.view(r, kRho);
     grid::TileView m1 = f.view(r, kMom1);
@@ -208,9 +218,9 @@ void HydroSolver::sweep(ExecContext& ctx, HydroState& state, double dt,
     const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj;
     // ~90 flops/zone (one HLL flux per face + update), ~14 doubles read,
     // 4 written.
-    ctx.commit_synthetic(r, KernelFamily::Hydro, "hydro-sweep", elements, 90,
-                         112, 32, elements * 144);
-  }
+    rctx.commit_synthetic(r, KernelFamily::Hydro, "hydro-sweep", elements, 90,
+                          112, 32, elements * 144);
+  });
 }
 
 void HydroSolver::step(ExecContext& ctx, HydroState& state, double dt) {

@@ -1,6 +1,7 @@
 #include "mpisim/exec_model.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -135,6 +136,13 @@ sim::CostLedger ExecModel::merged_ledger(std::size_t p) const {
   sim::CostLedger out;
   for (const auto& l : state_.at(p).ledger) out.merge(l);
   return out;
+}
+
+void ExecModel::restore_rank(std::size_t p, int rank, double clock,
+                             sim::CostLedger ledger) {
+  auto& st = state_.at(p);
+  st.clock.at(static_cast<std::size_t>(rank)) = clock;
+  st.ledger.at(static_cast<std::size_t>(rank)) = std::move(ledger);
 }
 
 void ExecModel::reset() {

@@ -78,6 +78,12 @@ public:
   /// Reset clocks and ledgers (keep machine/profiles/placement).
   void reset();
 
+  /// Overwrite one rank's clock and ledger under profile p — checkpoint
+  /// restart uses this to resume the simulated machine bit-exactly where
+  /// a previous run persisted it.
+  void restore_rank(std::size_t p, int rank, double clock,
+                    sim::CostLedger ledger);
+
 private:
   struct PerProfile {
     NetCost net;

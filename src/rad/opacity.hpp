@@ -34,6 +34,9 @@ struct OpacityLaw {
     return k;
   }
 
+  /// True when the law ignores the material state (both exponents zero).
+  bool is_constant() const { return t_exp == 0.0 && rho_exp == 0.0; }
+
   static OpacityLaw constant(double kappa) { return OpacityLaw{kappa}; }
 };
 
@@ -55,6 +58,18 @@ public:
   double total(int s, double temperature, double density) const {
     return absorption_.at(s).evaluate(temperature, density) +
            scattering_.at(s).evaluate(temperature, density);
+  }
+
+  /// True when every law is material-independent: the assembly may hoist
+  /// one evaluation per tile instead of evaluating per zone (the study's
+  /// test problem); power-law opacities take the per-zone branch.
+  bool uniform() const {
+    for (int s = 0; s < ns(); ++s) {
+      if (!absorption_[static_cast<std::size_t>(s)].is_constant() ||
+          !scattering_[static_cast<std::size_t>(s)].is_constant())
+        return false;
+    }
+    return true;
   }
 
 private:

@@ -1,0 +1,78 @@
+#include "scenario/registry.hpp"
+
+#include "scenario/problems.hpp"
+#include "support/error.hpp"
+
+namespace v2d::scenario {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    r.add("gaussian-pulse",
+          "the paper's diffusing 2-D Gaussian radiation pulse "
+          "(free-space analytic reference)",
+          make_gaussian_pulse);
+    r.add("sedov-radhydro",
+          "Sedov-like blast with HLL hydro sweeps, 3-solve radiation "
+          "step and radiation-gas exchange (mass-conservation pin)",
+          make_sedov_radhydro);
+    r.add("hotspot-absorber",
+          "radiation diffusion through a nonuniform power-law absorbing "
+          "blob (discrete absorption decay bounds)",
+          make_hotspot_absorber);
+    r.add("two-species-relax",
+          "exchange-dominated two-species relaxation on uniform fields "
+          "(closed-form per-step equilibration reference)",
+          make_two_species_relax);
+    return r;
+  }();
+  return reg;
+}
+
+void ScenarioRegistry::add(const std::string& name,
+                           const std::string& description, Factory factory) {
+  V2D_REQUIRE(!name.empty() && factory != nullptr,
+              "scenario registration needs a name and a factory");
+  V2D_REQUIRE(entries_.find(name) == entries_.end(),
+              "scenario '" + name + "' registered twice");
+  entries_.emplace(name, Entry{description, std::move(factory)});
+}
+
+bool ScenarioRegistry::has(const std::string& name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::unique_ptr<Problem> ScenarioRegistry::create(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw Error("unknown problem '" + name + "' (known problems: " +
+                known_names() + ")");
+  }
+  return it->second.factory();
+}
+
+const std::string& ScenarioRegistry::description(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  V2D_REQUIRE(it != entries_.end(), "unknown problem '" + name + "'");
+  return it->second.description;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::string ScenarioRegistry::known_names() const {
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace v2d::scenario

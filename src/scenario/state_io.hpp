@@ -1,0 +1,39 @@
+#pragma once
+/// \file state_io.hpp
+/// \brief Shared helpers for checkpoint payloads: DistField <-> h5lite.
+///
+/// Every built-in Problem serializes its grid-shaped state with these two
+/// functions so payload layout ({ns, nx2, nx1}, dictionary order) is
+/// uniform across the catalog and the restart path can round-trip any
+/// field bit-exactly (h5lite stores doubles natively).
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "grid/dist_field.hpp"
+#include "io/h5lite.hpp"
+#include "support/error.hpp"
+
+namespace v2d::scenario {
+
+inline void write_field(io::Group& group, const std::string& name,
+                        const grid::DistField& field) {
+  const auto data = field.gather_global();
+  group.write(name, std::span<const double>(data),
+              {static_cast<std::uint64_t>(field.ns()),
+               static_cast<std::uint64_t>(field.grid().nx2()),
+               static_cast<std::uint64_t>(field.grid().nx1())});
+}
+
+inline void read_field(const io::Group& group, const std::string& name,
+                       grid::DistField& field) {
+  V2D_REQUIRE(group.has_dataset(name),
+              "checkpoint is missing dataset '" + name + "'");
+  const io::Dataset& d = group.dataset(name);
+  V2D_REQUIRE(d.type == io::Dataset::Type::F64,
+              "checkpoint dataset '" + name + "' is not f64");
+  field.scatter_global(std::span<const double>(d.f64));
+}
+
+}  // namespace v2d::scenario

@@ -45,6 +45,12 @@ public:
   /// Merge another ledger into this one (region-wise).
   void merge(const CostLedger& o);
 
+  /// Insert or overwrite one region wholesale (checkpoint-restart
+  /// deserialization; normal accounting goes through add_kernel/add_comm).
+  void set_region(const std::string& region, RegionCost cost) {
+    regions_[region] = cost;
+  }
+
   void clear();
 
   bool has(const std::string& region) const;

@@ -11,6 +11,7 @@
 #include "linalg/precond.hpp"
 #include "linalg/stencil_op.hpp"
 #include "mpisim/msgqueue.hpp"
+#include "rad/gaussian.hpp"
 #include "support/rng.hpp"
 
 namespace v2d {

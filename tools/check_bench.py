@@ -22,6 +22,8 @@ that explains it).
 Usage:
   tools/check_bench.py fusion  BENCH_fusion.json  bench/baselines/BENCH_fusion.json
   tools/check_bench.py kernels BENCH_kernels.json bench/baselines/BENCH_kernels.json
+  tools/check_bench.py rank_parallel BENCH_rank_parallel.json \
+      bench/baselines/BENCH_rank_parallel.json
 """
 
 import argparse
@@ -38,6 +40,9 @@ FUSION_GATE_SPEEDUP = 1.3
 KERNELS_GATE_N = 40000
 KERNELS_GATE_SPEEDUP = 5.0
 KERNELS_HOT = {"daxpy", "dprod", "matvec"}
+RANK_PARALLEL_GATE_THREADS = 4
+RANK_PARALLEL_GATE_SPEEDUP = 2.0
+RANK_PARALLEL_GATE_RANKS = 16
 
 
 def load(path):
@@ -115,9 +120,59 @@ def check_kernels(current, baseline, tol):
     return errors
 
 
+def check_rank_parallel(current, baseline, tol):
+    errors = []
+    cur = index(current, ("threads",))
+    base = index(baseline, ("threads",))
+    missing = set(base) - set(cur)
+    if missing:
+        errors.append(f"rows missing from current run: {sorted(missing)}")
+    for key, row in sorted(cur.items()):
+        tag = f"rank_parallel threads={key[0]}"
+        # The engine's invariant: bit-identical fields and simulated clocks
+        # at any host-thread count.
+        if not row["identical"]:
+            errors.append(f"{tag}: diverged from the serial baseline")
+        # The in-binary floor, re-checked here, fires only when the runner
+        # can physically deliver the parallelism.
+        if (row["threads"] >= RANK_PARALLEL_GATE_THREADS
+                and row["host_cores"] >= row["threads"]
+                and row["ranks"] >= RANK_PARALLEL_GATE_RANKS
+                and row["speedup"] < RANK_PARALLEL_GATE_SPEEDUP):
+            errors.append(
+                f"{tag}: host speedup {row['speedup']:.2f} "
+                f"< floor {RANK_PARALLEL_GATE_SPEEDUP}")
+        ref = base.get(key)
+        if ref is None:
+            continue
+        # The simulated clock is deterministic: drift means the pricing or
+        # trajectory changed and the baseline must be regenerated.
+        a, b = row["sim_elapsed_s"], ref["sim_elapsed_s"]
+        if abs(a - b) > SIM_REL_TOL * max(abs(b), 1e-30):
+            errors.append(
+                f"{tag}: deterministic field 'sim_elapsed_s' drifted "
+                f"({b} -> {a}); regenerate the baseline deliberately")
+        # Host speedups only compare like-for-like core counts: CI runners
+        # differ from the baseline machine.
+        if row["host_cores"] == ref["host_cores"]:
+            floor = ref["speedup"] * (1.0 - tol)
+            if row["speedup"] < floor:
+                errors.append(
+                    f"{tag}: host speedup {row['speedup']:.2f} < "
+                    f"baseline {ref['speedup']:.2f} - {tol:.0%}")
+    return errors
+
+
+CHECKS = {
+    "fusion": check_fusion,
+    "kernels": check_kernels,
+    "rank_parallel": check_rank_parallel,
+}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("kind", choices=("fusion", "kernels"))
+    ap.add_argument("kind", choices=tuple(CHECKS))
     ap.add_argument("current", help="freshly produced bench JSON")
     ap.add_argument("baseline", help="committed baseline JSON")
     ap.add_argument("--tol", type=float, default=0.35,
@@ -126,8 +181,8 @@ def main():
                          "absolute floors do the hard gating)")
     args = ap.parse_args()
 
-    check = check_fusion if args.kind == "fusion" else check_kernels
-    errors = check(load(args.current), load(args.baseline), args.tol)
+    errors = CHECKS[args.kind](load(args.current), load(args.baseline),
+                               args.tol)
     if errors:
         print(f"check_bench: {len(errors)} regression(s) vs "
               f"{args.baseline}:", file=sys.stderr)
