@@ -10,23 +10,95 @@
 ///   ./v2d --problem hotspot-absorber --steps 10 --checkpoint run.h5l \
 ///         --checkpoint-every 5
 ///   ./v2d --problem hotspot-absorber --steps 20 --restart run.h5l
+///   ./v2d --farm jobs.txt --host-threads 8
 ///
 /// `--list-problems` prints one "name<TAB>description" line per catalog
 /// entry (machine-friendly: CI iterates `v2d --list-problems | cut -f1`).
+///
+/// `--farm jobs.txt` runs a whole job list through one process (see
+/// farm/job_file.hpp for the format): every line is a full v2d command
+/// line, all jobs share the warm caches and the host pool, and the run
+/// ends with a per-job table plus aggregate throughput.  Exit status is
+/// nonzero when any job failed.
 
+#include <cstddef>
 #include <iostream>
 
 #include "core/v2d.hpp"
+#include "farm/farm.hpp"
+#include "farm/job_file.hpp"
+#include "perfmon/perf_stat.hpp"
 #include "scenario/registry.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "vla/vla.hpp"
+
+namespace {
+
+int run_farm(const std::string& job_path, int host_threads,
+             int max_concurrent) {
+  using namespace v2d;
+  farm::FarmOptions fopt;
+  fopt.host_threads = host_threads;
+  fopt.max_concurrent = max_concurrent;
+  farm::FarmScheduler sched(fopt);
+  for (auto& job : farm::parse_job_file(job_path))
+    sched.add(std::move(job));
+
+  std::cout << "v2d farm: " << sched.job_count() << " job(s) from "
+            << job_path << "\n";
+  const farm::FarmSummary sum = sched.run();
+
+  TableWriter table("\nFarm jobs");
+  table.set_columns({"job", "problem", "steps", "sim time", "check",
+                     "t_sim (s)", "status"});
+  for (const auto& r : sum.jobs) {
+    const std::string t0 =
+        r.profile_elapsed.empty()
+            ? std::string("-")
+            : TableWriter::num(r.profile_elapsed.front().second, 3);
+    table.add_row({r.name, r.problem, std::to_string(r.steps),
+                   TableWriter::num(r.sim_time, 3),
+                   r.error.empty() ? TableWriter::num(r.analytic_error, 3)
+                                   : "-",
+                   t0, r.error.empty() ? "ok" : "FAILED"});
+  }
+  std::cout << table.str();
+  for (const auto& r : sum.jobs)
+    if (!r.error.empty())
+      std::cout << "job " << r.name << " failed: " << r.error << '\n';
+
+  // Aggregate throughput + shared-runtime effectiveness.  The memo line
+  // is the *process-wide* total (all fork families and farm prototypes).
+  const perfmon::MemoCacheStats memo{vla::process_memo_hits(),
+                                     vla::process_memo_misses()};
+  std::cout << "\nfarm summary:\n"
+            << "  jobs:      " << (sum.jobs.size() - sum.failed) << " ok, "
+            << sum.failed << " failed in "
+            << TableWriter::num(sum.host_seconds, 3) << " s ("
+            << TableWriter::num(sum.jobs_per_sec, 2) << " jobs/s)\n"
+            << "  steps:     " << sum.scenario_steps << " scenario-steps ("
+            << TableWriter::num(sum.steps_per_sec, 1) << " steps/s)\n"
+            << "  " << perfmon::format_memo_cache(memo) << '\n'
+            << "  price memo: " << sum.price_hits << " hits, "
+            << sum.price_misses << " misses\n"
+            << "  workspaces: " << sum.workspaces_created << " created, "
+            << sum.workspaces_reused << " reused\n";
+  return sum.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace v2d;
   Options opt;
   core::RunConfig::register_options(opt);
   opt.add_flag("list-problems", "print the scenario catalog and exit");
+  opt.add("farm", "", "run a job list through the farm (one v2d command "
+                      "line per job; see src/farm/job_file.hpp)");
+  opt.add("farm-max-concurrent", "0",
+          "max resident farm sessions (0 = all jobs)");
   try {
     opt.parse(argc, argv);
   } catch (const Error& e) {
@@ -39,6 +111,17 @@ int main(int argc, char** argv) {
     for (const auto& name : registry.names())
       std::cout << name << '\t' << registry.description(name) << '\n';
     return 0;
+  }
+
+  if (!opt.get("farm").empty()) {
+    try {
+      return run_farm(opt.get("farm"),
+                      static_cast<int>(opt.get_int("host-threads")),
+                      static_cast<int>(opt.get_int("farm-max-concurrent")));
+    } catch (const Error& e) {
+      std::cerr << "v2d farm: " << e.what() << '\n';
+      return 1;
+    }
   }
 
   try {

@@ -131,23 +131,36 @@ std::vector<std::pair<std::string, std::string>> pinned_knobs(
 
 }  // namespace
 
-Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine)
+Simulation::Simulation(const RunConfig& cfg, sim::MachineSpec machine,
+                       SessionShared* shared)
     : cfg_(cfg),
       problem_(scenario::ScenarioRegistry::instance().create(cfg.problem)),
       grid_(problem_->make_grid(cfg_)),
       dec_(grid_, mpisim::CartTopology(cfg.nprx1, cfg.nprx2)) {
-  set_host_threads(cfg.host_threads);
+  // A farm session must not resize the process-global host pool per job;
+  // the farm configures it once for the whole batch.
+  if (shared == nullptr) set_host_threads(cfg.host_threads);
   em_ = std::make_unique<mpisim::ExecModel>(
       std::move(machine), resolve_profiles(cfg.compilers), cfg.nranks());
-  ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get(),
-                             vla::vla_exec_mode_from_name(cfg.vla_exec),
-                             linalg::fuse_mode_from_name(cfg.fuse));
+  const auto exec_mode = vla::vla_exec_mode_from_name(cfg.vla_exec);
+  const auto fuse_mode = linalg::fuse_mode_from_name(cfg.fuse);
+  if (shared != nullptr) {
+    em_->set_price_memo(shared->price_memo());
+    ctx_ = linalg::ExecContext(
+        shared->context_for(cfg.vector_bits, exec_mode), em_.get(),
+        fuse_mode);
+  } else {
+    ctx_ = linalg::ExecContext(vla::VectorArch(cfg.vector_bits), em_.get(),
+                               exec_mode, fuse_mode);
+  }
 
   scenario::ProblemSetup setup;
   setup.cfg = &cfg_;
   setup.grid = &grid_;
   setup.dec = &dec_;
   setup.ctx = &ctx_;
+  setup.workspace_pool =
+      shared != nullptr ? &shared->workspace_pool() : nullptr;
   problem_->initialize(setup);
 
   profilers_.resize(em_->nprofiles());
@@ -190,23 +203,32 @@ rad::StepStats Simulation::advance() {
   return stats;
 }
 
-void Simulation::run(
-    const std::function<void(const rad::StepStats&)>& on_step) {
-  while (step_count_ < cfg_.steps) {
-    const auto stats = advance();
-    V2D_CHECK(stats.all_converged(),
-              "solver failed to converge at step " +
-                  std::to_string(step_count_));
-    if (!cfg_.checkpoint_path.empty() && cfg_.checkpoint_every > 0 &&
-        step_count_ % cfg_.checkpoint_every == 0) {
-      checkpoint(cfg_.checkpoint_path);
-    }
-    if (on_step) on_step(stats);
+rad::StepStats Simulation::drive_step() {
+  const auto stats = advance();
+  V2D_CHECK(stats.all_converged(),
+            "solver failed to converge at step " +
+                std::to_string(step_count_));
+  if (!cfg_.checkpoint_path.empty() && cfg_.checkpoint_every > 0 &&
+      step_count_ % cfg_.checkpoint_every == 0) {
+    checkpoint(cfg_.checkpoint_path);
   }
-  // Final checkpoint — skipped when the periodic cadence already wrote
-  // one for the last step (the duplicate would double-price the Io).
+  return stats;
+}
+
+void Simulation::finalize_checkpoints() {
+  // Skipped when the periodic cadence already wrote one for the last step
+  // (the duplicate would double-price the Io).
   if (!cfg_.checkpoint_path.empty() && last_checkpoint_step_ != step_count_)
     checkpoint(cfg_.checkpoint_path);
+}
+
+void Simulation::run(
+    const std::function<void(const rad::StepStats&)>& on_step) {
+  while (!finished()) {
+    const auto stats = drive_step();
+    if (on_step) on_step(stats);
+  }
+  finalize_checkpoints();
 }
 
 double Simulation::analytic_error() const {

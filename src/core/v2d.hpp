@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/session_shared.hpp"
 #include "grid/decomp.hpp"
 #include "grid/grid2d.hpp"
 #include "linalg/dist_vector.hpp"
@@ -32,8 +33,17 @@ namespace v2d::core {
 
 class Simulation {
 public:
+  /// `shared`, when non-null, injects a farm's shared runtime: the
+  /// session's vla::Context forks from the shared per-VL prototype (warm
+  /// analytic-count memo), its ExecModel routes pricing through the shared
+  /// PriceMemo, its stepper leases scratch from the shared WorkspacePool,
+  /// and the global host pool is left alone (the farm sizes it once).
+  /// Everything shared is a pure-function cache or scrubbed scratch, so a
+  /// shared session's trajectory/ledgers/clocks are bit-identical to a
+  /// solo one's.  `shared` must outlive the Simulation.
   explicit Simulation(const RunConfig& cfg,
-                      sim::MachineSpec machine = sim::MachineSpec::a64fx());
+                      sim::MachineSpec machine = sim::MachineSpec::a64fx(),
+                      SessionShared* shared = nullptr);
   ~Simulation();
 
   const RunConfig& config() const { return cfg_; }
@@ -57,6 +67,20 @@ public:
   /// One timestep (the problem's operator-split cycle); updates profilers
   /// and simulated clocks.
   rad::StepStats advance();
+
+  /// True when cfg.steps timesteps have been taken.
+  bool finished() const { return step_count_ >= cfg_.steps; }
+
+  /// One run()-loop iteration: advance, check convergence, write the
+  /// cadence checkpoint if the step lands on it.  The farm drives
+  /// sessions step-by-step through this so interleaved jobs keep exactly
+  /// the semantics (and checkpoint pricing) of a solo run() loop.
+  rad::StepStats drive_step();
+
+  /// The final checkpoint run() writes after the last step — skipped when
+  /// the periodic cadence already covered it (the duplicate would
+  /// double-price the Io).  Idempotent once written.
+  void finalize_checkpoints();
 
   /// Run until cfg.steps timesteps have been taken (continuing from a
   /// restart point, if any), writing checkpoints on the configured

@@ -1,0 +1,164 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace v2d::farm {
+
+namespace {
+
+/// One resident session.
+struct Active {
+  std::size_t index = 0;  ///< position in jobs_ / FarmSummary::jobs
+  std::unique_ptr<core::Simulation> sim;
+  int admitted_at_step = 0;  ///< steps_taken() when admitted (restart base)
+  std::string error;
+};
+
+JobResult make_result(const FarmJob& job, const Active& a) {
+  JobResult r;
+  r.name = job.name;
+  r.problem = job.cfg.problem;
+  r.error = a.error;
+  const core::Simulation& sim = *a.sim;
+  r.steps = sim.steps_taken();
+  r.farmed_steps = sim.steps_taken() - a.admitted_at_step;
+  r.sim_time = sim.time();
+  if (a.error.empty()) {
+    r.analytic_error = sim.analytic_error();
+    r.total_energy = sim.total_energy();
+  }
+  for (std::size_t p = 0; p < sim.exec().nprofiles(); ++p)
+    r.profile_elapsed.emplace_back(sim.exec().profile(p).name(),
+                                   sim.elapsed(p));
+  return r;
+}
+
+}  // namespace
+
+FarmScheduler::FarmScheduler(FarmOptions opt) : opt_(opt) {}
+
+std::size_t FarmScheduler::add(FarmJob job) {
+  V2D_REQUIRE(!job.name.empty(), "farm job needs a name");
+  for (const auto& j : jobs_) {
+    V2D_REQUIRE(j.name != job.name,
+                "duplicate farm job name '" + job.name + "'");
+    V2D_REQUIRE(job.cfg.checkpoint_path.empty() ||
+                    j.cfg.checkpoint_path != job.cfg.checkpoint_path,
+                "farm jobs '" + j.name + "' and '" + job.name +
+                    "' share checkpoint path '" + job.cfg.checkpoint_path +
+                    "'");
+  }
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+FarmSummary FarmScheduler::run() {
+  FarmSummary out;
+  out.jobs.resize(jobs_.size());
+
+  // The farm owns the host pool for the duration of the batch; sessions
+  // constructed with a SessionShared leave it alone.
+  set_host_threads(opt_.host_threads);
+
+  const std::size_t cap = opt_.max_concurrent > 0
+                              ? static_cast<std::size_t>(opt_.max_concurrent)
+                              : std::max<std::size_t>(jobs_.size(), 1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Active> active;
+  std::size_t next = 0;
+  while (!active.empty() || next < jobs_.size()) {
+    // Admit queued jobs up to the residency cap.  Construction and
+    // restart run on the scheduler thread — setup is unpriced and cheap
+    // relative to stepping, and it keeps registry/IO access serial.
+    while (active.size() < cap && next < jobs_.size()) {
+      Active a;
+      a.index = next;
+      const FarmJob& job = jobs_[next];
+      try {
+        a.sim = std::make_unique<core::Simulation>(job.cfg, opt_.machine,
+                                                   &shared_);
+        if (!job.cfg.restart_path.empty())
+          a.sim->restart(job.cfg.restart_path);
+        a.admitted_at_step = a.sim->steps_taken();
+      } catch (const std::exception& e) {
+        a.error = e.what();
+      }
+      active.push_back(std::move(a));
+      ++next;
+    }
+
+    // One wave: every resident session takes one step, concurrently on
+    // the host pool.  Each step's own par_ranks executes inline inside
+    // its wave task, so cross-session and intra-step parallelism share
+    // the same lanes without oversubscription.
+    parallel_for(static_cast<int>(active.size()), [&](int i) {
+      Active& a = active[static_cast<std::size_t>(i)];
+      if (!a.error.empty() || a.sim->finished()) return;
+      try {
+        a.sim->drive_step();
+      } catch (const std::exception& e) {
+        a.error = e.what();
+      }
+    });
+
+    // Retire finished and failed sessions: final checkpoint, result row,
+    // then destroy the session (releasing its workspace lease for the
+    // next admission).
+    for (auto it = active.begin(); it != active.end();) {
+      const bool failed = !it->error.empty();
+      if (!failed && !it->sim->finished()) {
+        ++it;
+        continue;
+      }
+      if (it->sim != nullptr) {
+        if (!failed) {
+          try {
+            it->sim->finalize_checkpoints();
+          } catch (const std::exception& e) {
+            it->error = e.what();
+          }
+        }
+        out.jobs[it->index] = make_result(jobs_[it->index], *it);
+        if (it->error.empty() && opt_.on_job_complete)
+          opt_.on_job_complete(it->index, *it->sim);
+      } else {
+        out.jobs[it->index].name = jobs_[it->index].name;
+        out.jobs[it->index].problem = jobs_[it->index].cfg.problem;
+        out.jobs[it->index].error = it->error;
+      }
+      it = active.erase(it);
+    }
+  }
+
+  out.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& r : out.jobs) {
+    if (!r.error.empty()) ++out.failed;
+    out.scenario_steps += static_cast<std::uint64_t>(
+        std::max(r.farmed_steps, 0));
+  }
+  if (out.host_seconds > 0.0) {
+    out.jobs_per_sec =
+        static_cast<double>(jobs_.size() - out.failed) / out.host_seconds;
+    out.steps_per_sec =
+        static_cast<double>(out.scenario_steps) / out.host_seconds;
+  }
+  const auto [mh, mm] = shared_.memo_totals();
+  out.memo_hits = mh;
+  out.memo_misses = mm;
+  const auto ps = shared_.price_memo()->stats();
+  out.price_hits = ps.hits;
+  out.price_misses = ps.misses;
+  out.workspaces_created = shared_.workspace_pool().created();
+  out.workspaces_reused = shared_.workspace_pool().reused();
+  return out;
+}
+
+}  // namespace v2d::farm

@@ -1,0 +1,121 @@
+#pragma once
+/// \file farm.hpp
+/// \brief Batched multi-scenario pricing service ("pricing as a service").
+///
+/// A FarmScheduler owns a queue of jobs — heterogeneous RunConfigs:
+/// different problems, grids, vector lengths, compiler profiles — and
+/// drives them through one long-lived process.  Per wave it steps every
+/// active session once, concurrently on the process host pool (each step
+/// still runs its own par_ranks inside, which executes inline on the
+/// pool's lanes), and admits queued jobs as running ones finish.  All
+/// sessions share one SessionShared runtime: the per-VL analytic-count
+/// memo, the same-shape PriceMemo, and the SolverWorkspace pool — so a
+/// batch of same-shape jobs derives each closed-form KernelCounts shape
+/// and each price once per process instead of once per job.
+///
+/// Isolation contract: jobs share *only* pure-function caches and
+/// scrubbed scratch.  Each job keeps its own ExecModel (clocks, ledgers),
+/// fields and checkpoints, and its trajectory, recorded counts and
+/// simulated clocks are bit-identical to running the job alone — the farm
+/// is purely a host-throughput optimization, pinned by the farm
+/// determinism suite.  Wave interleaving carries no numerical meaning.
+///
+/// A job that throws (non-convergence, bad restart file) is retired with
+/// its error recorded in its JobResult; the remaining jobs keep running.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session_shared.hpp"
+#include "core/v2d.hpp"
+
+namespace v2d::farm {
+
+/// One queued run: a name (unique within the farm, used for reporting)
+/// plus the full RunConfig a solo run would use.  `host_threads` inside
+/// the config is ignored — the farm sizes the host pool once for the
+/// whole batch (FarmOptions::host_threads).
+struct FarmJob {
+  std::string name;
+  core::RunConfig cfg;
+};
+
+struct FarmOptions {
+  /// Host pool lanes for the whole batch (0 = hardware concurrency).
+  int host_threads = 0;
+  /// Sessions resident at once (0 = all jobs).  Bounds peak memory: a
+  /// session's fields/scratch live only while it is active.
+  int max_concurrent = 0;
+  /// Simulated machine every job is priced on.  One farm prices on one
+  /// machine — the shared PriceMemo requires it.
+  sim::MachineSpec machine = sim::MachineSpec::a64fx();
+  /// Observer called on the scheduler thread for each *successful* job,
+  /// after its final checkpoint and just before its session is destroyed
+  /// — the determinism suite and benches capture fields/ledgers/clocks
+  /// here for exact comparison against solo runs.
+  std::function<void(std::size_t job_index, core::Simulation&)>
+      on_job_complete;
+};
+
+/// Outcome of one job.  `error` is empty on success; on failure the other
+/// result fields hold whatever the job had reached when it threw.
+struct JobResult {
+  std::string name;
+  std::string problem;
+  std::string error;
+  int steps = 0;             ///< total steps taken (includes restart base)
+  int farmed_steps = 0;      ///< steps the farm itself drove
+  double sim_time = 0.0;     ///< simulated physics time reached
+  double analytic_error = 0.0;
+  double total_energy = 0.0;
+  /// Simulated wall-clock per compiler profile: (profile name, seconds) —
+  /// the Table I numbers, bit-identical to a solo run's.
+  std::vector<std::pair<std::string, double>> profile_elapsed;
+};
+
+/// Aggregate throughput + shared-runtime statistics for one run().
+struct FarmSummary {
+  std::vector<JobResult> jobs;
+  std::size_t failed = 0;
+  double host_seconds = 0.0;
+  std::uint64_t scenario_steps = 0;  ///< farm-driven steps, all jobs
+  double jobs_per_sec = 0.0;
+  double steps_per_sec = 0.0;
+  /// Analytic count-memo totals across the shared per-VL families.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  /// Same-shape price-memo totals.
+  std::uint64_t price_hits = 0;
+  std::uint64_t price_misses = 0;
+  /// Workspace pool: entries ever created vs acquisitions served by reuse.
+  std::size_t workspaces_created = 0;
+  std::uint64_t workspaces_reused = 0;
+};
+
+class FarmScheduler {
+public:
+  explicit FarmScheduler(FarmOptions opt = {});
+
+  /// Queue a job; returns its index (JobResults come back in add order).
+  /// Job names must be unique; non-empty checkpoint paths must be unique
+  /// across jobs (two jobs writing one file would corrupt both).
+  std::size_t add(FarmJob job);
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Run every queued job to completion and report.  Call once.
+  FarmSummary run();
+
+  /// The runtime shared across this farm's sessions (tests inspect it).
+  core::SessionShared& shared() { return shared_; }
+
+private:
+  FarmOptions opt_;
+  std::vector<FarmJob> jobs_;
+  core::SessionShared shared_;
+};
+
+}  // namespace v2d::farm

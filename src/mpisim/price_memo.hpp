@@ -1,0 +1,130 @@
+#pragma once
+/// \file price_memo.hpp
+/// \brief Same-shape price cache shared across execution sessions.
+///
+/// Pricing a recorded kernel stream is a pure function of (recording,
+/// profile, working set, CMG sharing) on a fixed machine, and a farm of
+/// sessions running the same problems keeps presenting the *same* shapes:
+/// every session's MATVEC over an n-zone tile at one VL records identical
+/// KernelCounts and therefore prices to identical CostBreakdowns.  The
+/// memo computes each distinct shape once and lets every session of the
+/// farm reuse the result, so a wave of same-shape kernel calls from N
+/// sessions pays one pricing pass instead of N.
+///
+/// Correctness: the key stores the *full* pricing inputs (the entire
+/// KernelCounts plus family, working set, sharer count and the profile's
+/// name) and compares them exactly on probe — never just a digest — so a
+/// memo hit returns bit-identical cycles to an uncached price() call and
+/// farm sessions stay bit-identical to solo runs.  Profiles are compared
+/// by name, which is sound for the canonical find_profile() catalog (the
+/// farm resolves profiles from RunConfig names); callers that mutate
+/// profile factors by hand must not share a memo.  One memo must only be
+/// shared between ExecModels built on the same MachineSpec — the farm
+/// guarantees this by pricing every session on one machine.
+///
+/// Thread-safe: sessions of one wave price concurrently; the map is
+/// read-mostly behind a shared_mutex and entries never relocate.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/profile.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/isa.hpp"
+
+namespace v2d::mpisim {
+
+class PriceMemo {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// The price of `counts` under (`profile`, `family`, working set,
+  /// sharers) on `cost`'s machine: probes the memo and computes-and-caches
+  /// on a miss.  Bit-identical to cost.price(...) by construction.
+  sim::CostBreakdown price(const sim::CostModel& cost,
+                           const compiler::CodegenProfile& profile,
+                           compiler::KernelFamily family,
+                           const sim::KernelCounts& counts,
+                           std::uint64_t working_set_bytes,
+                           std::uint32_t sharers) {
+    const Key key{counts, profile.name(), static_cast<std::uint32_t>(family),
+                  working_set_bytes, sharers};
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    const sim::CostBreakdown made =
+        cost.price(counts, profile.mode(), profile.factors(family),
+                   working_set_bytes, sharers);
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    map_.emplace(key, made);
+    return made;
+  }
+
+  Stats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Distinct shapes priced so far.
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return map_.size();
+  }
+
+private:
+  struct Key {
+    sim::KernelCounts counts;
+    std::string profile;
+    std::uint32_t family = 0;
+    std::uint64_t working_set = 0;
+    std::uint32_t sharers = 1;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  static std::size_t hash(const Key& k) {
+    // FNV-1a over the numeric fields plus the profile-name hash.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (std::size_t i = 0; i < sim::kNumOpClasses; ++i) {
+      mix(k.counts.instr[i]);
+      mix(k.counts.lanes[i]);
+    }
+    mix(k.counts.bytes_read);
+    mix(k.counts.bytes_written);
+    mix(k.counts.elements);
+    mix(k.counts.calls);
+    mix(k.family);
+    mix(k.working_set);
+    mix(k.sharers);
+    mix(std::hash<std::string>{}(k.profile));
+    return static_cast<std::size_t>(h);
+  }
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const { return hash(k); }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, sim::CostBreakdown, KeyHash> map_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace v2d::mpisim

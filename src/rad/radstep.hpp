@@ -50,10 +50,15 @@ struct StepStats {
 
 class RadiationStepper {
 public:
+  /// `pool`, when non-null, leases the solver scratch from a shared
+  /// WorkspacePool instead of allocating it privately (farm sessions pass
+  /// the farm's pool; solo runs leave it null).  Pooled scratch is
+  /// scrubbed on lease, so the trajectory is identical either way.
   RadiationStepper(const grid::Grid2D& g, const grid::Decomposition& d,
                    FldBuilder builder, linalg::SolveOptions solver_options = {},
                    std::string preconditioner = "spai0",
-                   linalg::mg::MgOptions mg_options = {});
+                   linalg::mg::MgOptions mg_options = {},
+                   linalg::WorkspacePool* pool = nullptr);
 
   FldBuilder& builder() { return builder_; }
   const linalg::SolveOptions& solver_options() const { return opt_; }
@@ -78,7 +83,10 @@ private:
   linalg::mg::MgOptions mg_options_;
   linalg::StencilOperator a_diffusion_;
   linalg::StencilOperator a_coupling_;
-  linalg::SolverWorkspace workspace_;  ///< scratch shared across all solves
+  /// Scratch shared across all solves: leased from the pool when one was
+  /// given, privately owned otherwise (exactly one of the two is active).
+  linalg::WorkspacePool::Lease lease_;
+  std::unique_ptr<linalg::SolverWorkspace> owned_workspace_;
   linalg::BicgstabSolver solver_;
   linalg::DistVector rhs_, e_star_, e_old_;
 };

@@ -33,8 +33,14 @@ void ScenarioRegistry::add(const std::string& name,
                            const std::string& description, Factory factory) {
   V2D_REQUIRE(!name.empty() && factory != nullptr,
               "scenario registration needs a name and a factory");
+  // Registering one name twice is always a programming error — the second
+  // factory would silently shadow (or race) the first, and `--problem`
+  // would stop meaning one thing.  Fail at registration time, before the
+  // catalog is ever consulted, and keep the registry unchanged.
   V2D_REQUIRE(entries_.find(name) == entries_.end(),
-              "scenario '" + name + "' registered twice");
+              "scenario '" + name +
+                  "' registered twice (already in the catalog as: " +
+                  entries_.find(name)->second.description + ")");
   entries_.emplace(name, Entry{description, std::move(factory)});
 }
 

@@ -98,6 +98,10 @@ struct KernelCounts {
     calls += o.calls;
     return *this;
   }
+
+  /// Exact equality — two recordings priced identically iff all fields
+  /// match (the same-shape price memo keys on this).
+  bool operator==(const KernelCounts&) const = default;
 };
 
 /// Codegen quality knobs supplied by the compiler model (src/compiler).

@@ -56,6 +56,30 @@ inline VlaExecMode vla_exec_mode_from_name(const std::string& name) {
               "' (expected interpret|native)");
 }
 
+namespace detail {
+inline std::atomic<std::uint64_t>& process_hits() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+inline std::atomic<std::uint64_t>& process_misses() {
+  static std::atomic<std::uint64_t> v{0};
+  return v;
+}
+}  // namespace detail
+
+/// Process-wide analytic-count memo statistics, accumulated across *every*
+/// Context family in the process — fork()ed rank contexts and farm-shared
+/// session contexts alike.  Per-family counters (Context::memo_hits /
+/// memo_misses) only see their own fork family, which made the totals a
+/// per-run report; long-lived multi-session processes (the farm) want the
+/// process-wide view, so every memo probe bumps these as well.
+inline std::uint64_t process_memo_hits() {
+  return detail::process_hits().load(std::memory_order_relaxed);
+}
+inline std::uint64_t process_memo_misses() {
+  return detail::process_misses().load(std::memory_order_relaxed);
+}
+
 /// Architectural bounds for SVE vector lengths.
 inline constexpr unsigned kMinVectorBits = 128;
 inline constexpr unsigned kMaxVectorBits = 2048;
@@ -141,10 +165,12 @@ public:
       auto it = cache.map.find(key);
       if (it != cache.map.end()) {
         cache.hits.fetch_add(1, std::memory_order_relaxed);
+        detail::process_hits().fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
     }
     cache.misses.fetch_add(1, std::memory_order_relaxed);
+    detail::process_misses().fetch_add(1, std::memory_order_relaxed);
     sim::KernelCounts made = make();
     std::unique_lock<std::shared_mutex> lk(cache.mu);
     return cache.map.try_emplace(key, made).first->second;

@@ -40,6 +40,40 @@ TEST(ScenarioRegistry, CatalogHoldsTheFourBuiltins) {
   }
 }
 
+TEST(ScenarioRegistry, DuplicateRegistrationIsAHardError) {
+  // A private registry: duplicate names must fail at registration time
+  // and leave the catalog unchanged.
+  scenario::ScenarioRegistry reg;
+  reg.add("my-problem", "first registration",
+          [] { return scenario::ScenarioRegistry::instance().create(
+                   "gaussian-pulse"); });
+  try {
+    reg.add("my-problem", "second registration",
+            [] { return scenario::ScenarioRegistry::instance().create(
+                     "gaussian-pulse"); });
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("my-problem"), std::string::npos);
+    EXPECT_NE(msg.find("registered twice"), std::string::npos);
+    // The message names the entry already holding the slot.
+    EXPECT_NE(msg.find("first registration"), std::string::npos);
+  }
+  // The losing registration did not clobber the catalog entry.
+  EXPECT_EQ(reg.description("my-problem"), "first registration");
+  EXPECT_EQ(reg.names().size(), 1u);
+}
+
+TEST(ScenarioRegistry, BuiltinCatalogRejectsDuplicates) {
+  EXPECT_THROW(scenario::ScenarioRegistry::instance().add(
+                   "gaussian-pulse", "impostor", [] {
+                     return std::unique_ptr<scenario::Problem>();
+                   }),
+               Error);
+  // The built-in entry survived the rejected add.
+  EXPECT_TRUE(scenario::ScenarioRegistry::instance().has("gaussian-pulse"));
+}
+
 TEST(ScenarioRegistry, UnknownNameListsTheCatalog) {
   try {
     scenario::ScenarioRegistry::instance().create("no-such-problem");

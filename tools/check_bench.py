@@ -24,6 +24,13 @@ Usage:
   tools/check_bench.py kernels BENCH_kernels.json bench/baselines/BENCH_kernels.json
   tools/check_bench.py rank_parallel BENCH_rank_parallel.json \
       bench/baselines/BENCH_rank_parallel.json
+  tools/check_bench.py farm BENCH_farm.json bench/baselines/BENCH_farm.json
+
+Conditional floors (rank_parallel, farm) carry an explicit per-row
+"speedup_gate" marker — "enforced", "skipped" (host lacks the cores) or
+"n/a" (not a gate row).  This checker re-derives what the marker *should*
+be from the row's own host_cores, so a runner can neither silently skip a
+floor it could have judged nor claim to have enforced one it couldn't.
 """
 
 import argparse
@@ -43,6 +50,21 @@ KERNELS_HOT = {"daxpy", "dprod", "matvec"}
 RANK_PARALLEL_GATE_THREADS = 4
 RANK_PARALLEL_GATE_SPEEDUP = 2.0
 RANK_PARALLEL_GATE_RANKS = 16
+FARM_GATE_JOBS = 8
+FARM_GATE_SPEEDUP = 1.3
+FARM_GATE_CORES = 2
+
+
+def check_gate_marker(row, tag, expected, errors):
+    """The marker in the JSON must match what the row's own host_cores
+    says it should be — a mismatch means the bench binary and this
+    checker disagree about when the floor applies."""
+    got = row.get("speedup_gate", "<missing>")
+    if got != expected:
+        errors.append(
+            f"{tag}: speedup_gate is '{got}' but this row's host_cores "
+            f"say it should be '{expected}'")
+    return got == expected
 
 
 def load(path):
@@ -134,14 +156,20 @@ def check_rank_parallel(current, baseline, tol):
         if not row["identical"]:
             errors.append(f"{tag}: diverged from the serial baseline")
         # The in-binary floor, re-checked here, fires only when the runner
-        # can physically deliver the parallelism.
+        # can physically deliver the parallelism; the row's marker must
+        # agree with that derivation.
         if (row["threads"] >= RANK_PARALLEL_GATE_THREADS
-                and row["host_cores"] >= row["threads"]
-                and row["ranks"] >= RANK_PARALLEL_GATE_RANKS
-                and row["speedup"] < RANK_PARALLEL_GATE_SPEEDUP):
-            errors.append(
-                f"{tag}: host speedup {row['speedup']:.2f} "
-                f"< floor {RANK_PARALLEL_GATE_SPEEDUP}")
+                and row["ranks"] >= RANK_PARALLEL_GATE_RANKS):
+            expected = ("enforced" if row["host_cores"] >= row["threads"]
+                        else "skipped")
+            check_gate_marker(row, tag, expected, errors)
+            if (expected == "enforced"
+                    and row["speedup"] < RANK_PARALLEL_GATE_SPEEDUP):
+                errors.append(
+                    f"{tag}: host speedup {row['speedup']:.2f} "
+                    f"< floor {RANK_PARALLEL_GATE_SPEEDUP}")
+        else:
+            check_gate_marker(row, tag, "n/a", errors)
         ref = base.get(key)
         if ref is None:
             continue
@@ -163,10 +191,57 @@ def check_rank_parallel(current, baseline, tol):
     return errors
 
 
+def check_farm(current, baseline, tol):
+    errors = []
+    cur = index(current, ("jobs",))
+    base = index(baseline, ("jobs",))
+    missing = set(base) - set(cur)
+    if missing:
+        errors.append(f"rows missing from current run: {sorted(missing)}")
+    for key, row in sorted(cur.items()):
+        tag = f"farm jobs={key[0]}"
+        # The farm's invariant: every farmed job is bit-identical to its
+        # solo run (fields and simulated clocks), at every batch size.
+        if not row["identical"]:
+            errors.append(f"{tag}: a farmed job diverged from its solo run")
+        # The throughput floor applies at >= 8 same-shape jobs, but only
+        # when the host can actually run sessions concurrently.
+        if row["jobs"] >= FARM_GATE_JOBS:
+            expected = ("enforced" if row["host_cores"] >= FARM_GATE_CORES
+                        else "skipped")
+            check_gate_marker(row, tag, expected, errors)
+            if expected == "enforced" and row["speedup"] < FARM_GATE_SPEEDUP:
+                errors.append(
+                    f"{tag}: farm speedup {row['speedup']:.2f} "
+                    f"< floor {FARM_GATE_SPEEDUP}")
+        else:
+            check_gate_marker(row, tag, "n/a", errors)
+        ref = base.get(key)
+        if ref is None:
+            continue
+        # The simulated clock of a farmed job is deterministic: drift means
+        # pricing or the solver trajectory changed, and the baseline must
+        # be regenerated deliberately.
+        a, b = row["sim_elapsed_s"], ref["sim_elapsed_s"]
+        if abs(a - b) > SIM_REL_TOL * max(abs(b), 1e-30):
+            errors.append(
+                f"{tag}: deterministic field 'sim_elapsed_s' drifted "
+                f"({b} -> {a}); regenerate the baseline deliberately")
+        # Host throughput only compares like-for-like core counts.
+        if row["host_cores"] == ref["host_cores"]:
+            floor = ref["speedup"] * (1.0 - tol)
+            if row["speedup"] < floor:
+                errors.append(
+                    f"{tag}: farm speedup {row['speedup']:.2f} < "
+                    f"baseline {ref['speedup']:.2f} - {tol:.0%}")
+    return errors
+
+
 CHECKS = {
     "fusion": check_fusion,
     "kernels": check_kernels,
     "rank_parallel": check_rank_parallel,
+    "farm": check_farm,
 }
 
 
