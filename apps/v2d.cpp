@@ -28,6 +28,7 @@
 #include "farm/farm.hpp"
 #include "farm/job_file.hpp"
 #include "perfmon/perf_stat.hpp"
+#include "resilience/fault_plan.hpp"
 #include "scenario/registry.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -36,23 +37,36 @@
 
 namespace {
 
-int run_farm(const std::string& job_path, int host_threads,
-             int max_concurrent) {
+int run_farm(const std::string& job_path, const v2d::Options& opt) {
   using namespace v2d;
   farm::FarmOptions fopt;
-  fopt.host_threads = host_threads;
-  fopt.max_concurrent = max_concurrent;
+  fopt.host_threads = static_cast<int>(opt.get_int("host-threads"));
+  fopt.max_concurrent =
+      static_cast<int>(opt.get_int("farm-max-concurrent"));
+  fopt.fault_plan = resilience::FaultPlan(
+      static_cast<std::uint64_t>(opt.get_int("fault-seed")),
+      opt.get("fault-spec"));
+  fopt.max_retries = static_cast<int>(opt.get_int("farm-max-retries"));
+  fopt.backoff_base_waves =
+      static_cast<int>(opt.get_int("farm-backoff-base"));
+  fopt.backoff_cap_waves = static_cast<int>(opt.get_int("farm-backoff-cap"));
+  fopt.job_step_budget = opt.get_int("farm-step-budget");
+  fopt.job_sim_budget = opt.get_double("farm-sim-budget");
   farm::FarmScheduler sched(fopt);
   for (auto& job : farm::parse_job_file(job_path))
     sched.add(std::move(job));
 
   std::cout << "v2d farm: " << sched.job_count() << " job(s) from "
             << job_path << "\n";
+  if (fopt.fault_plan.active())
+    std::cout << "fault injection: seed " << fopt.fault_plan.seed()
+              << ", spec '" << opt.get("fault-spec") << "', max retries "
+              << fopt.max_retries << "\n";
   const farm::FarmSummary sum = sched.run();
 
   TableWriter table("\nFarm jobs");
   table.set_columns({"job", "problem", "steps", "sim time", "check",
-                     "t_sim (s)", "status"});
+                     "t_sim (s)", "attempts", "status", "cause"});
   for (const auto& r : sum.jobs) {
     const std::string t0 =
         r.profile_elapsed.empty()
@@ -62,12 +76,23 @@ int run_farm(const std::string& job_path, int host_threads,
                    TableWriter::num(r.sim_time, 3),
                    r.error.empty() ? TableWriter::num(r.analytic_error, 3)
                                    : "-",
-                   t0, r.error.empty() ? "ok" : "FAILED"});
+                   t0, std::to_string(r.attempts),
+                   r.error.empty() ? "ok" : "FAILED",
+                   r.cause.empty() ? "-" : r.cause});
   }
   std::cout << table.str();
   for (const auto& r : sum.jobs)
     if (!r.error.empty())
       std::cout << "job " << r.name << " failed: " << r.error << '\n';
+
+  // Per-job recovery ledgers: every injected fault, fallback, retry,
+  // backoff and quarantine, in step order.
+  for (const auto& r : sum.jobs) {
+    if (r.recovery.empty()) continue;
+    std::cout << "recovery[" << r.name << "]:\n";
+    for (const auto& ev : r.recovery)
+      std::cout << "  " << resilience::format_event(ev) << '\n';
+  }
 
   // Aggregate throughput + shared-runtime effectiveness.  The memo line
   // is the *process-wide* total (all fork families and farm prototypes).
@@ -78,6 +103,9 @@ int run_farm(const std::string& job_path, int host_threads,
             << sum.failed << " failed in "
             << TableWriter::num(sum.host_seconds, 3) << " s ("
             << TableWriter::num(sum.jobs_per_sec, 2) << " jobs/s)\n"
+            << "  recovery:  " << sum.retries << " retries, "
+            << sum.quarantined << " quarantined, " << sum.waves
+            << " waves\n"
             << "  steps:     " << sum.scenario_steps << " scenario-steps ("
             << TableWriter::num(sum.steps_per_sec, 1) << " steps/s)\n"
             << "  " << perfmon::format_memo_cache(memo) << '\n'
@@ -99,6 +127,23 @@ int main(int argc, char** argv) {
                       "line per job; see src/farm/job_file.hpp)");
   opt.add("farm-max-concurrent", "0",
           "max resident farm sessions (0 = all jobs)");
+  opt.add("fault-seed", "0",
+          "deterministic fault-injection seed (0 = injection off); the "
+          "same seed always produces the same fault schedule");
+  opt.add("fault-spec", "throw",
+          "fault clauses, comma-separated: kind | kind:count | kind@step "
+          "with kind breakdown|nan|io|throw (see src/resilience/)");
+  opt.add("farm-max-retries", "0",
+          "retry a failed farm job this many times, resuming from its "
+          "latest finalized checkpoint (0 = no retry)");
+  opt.add("farm-backoff-base", "1",
+          "waves the first retry waits; doubles per retry");
+  opt.add("farm-backoff-cap", "8", "backoff ceiling in waves");
+  opt.add("farm-step-budget", "0",
+          "per-job driven-step budget across attempts (0 = unlimited); "
+          "exceeding it is a deadline failure");
+  opt.add("farm-sim-budget", "0",
+          "per-job simulated-seconds budget on profile 0 (0 = unlimited)");
   try {
     opt.parse(argc, argv);
   } catch (const Error& e) {
@@ -115,9 +160,7 @@ int main(int argc, char** argv) {
 
   if (!opt.get("farm").empty()) {
     try {
-      return run_farm(opt.get("farm"),
-                      static_cast<int>(opt.get_int("host-threads")),
-                      static_cast<int>(opt.get_int("farm-max-concurrent")));
+      return run_farm(opt.get("farm"), opt);
     } catch (const Error& e) {
       std::cerr << "v2d farm: " << e.what() << '\n';
       return 1;
@@ -127,6 +170,16 @@ int main(int argc, char** argv) {
   try {
     const core::RunConfig cfg = core::RunConfig::from_options(opt);
     core::Simulation sim(cfg);
+    // Solo fault injection: same deterministic schedule a farm would
+    // derive for a job named after the problem.  Without --farm there is
+    // no retry policy — a fault surfaces as a structured error (or a
+    // guard trip when --guard on), which is the point of the demo.
+    const resilience::FaultPlan plan(
+        static_cast<std::uint64_t>(opt.get_int("fault-seed")),
+        opt.get("fault-spec"));
+    resilience::FaultInjector injector(
+        plan.schedule(cfg.problem, 0, cfg.steps));
+    if (plan.active()) sim.set_fault_injector(&injector);
     if (!cfg.restart_path.empty()) sim.restart(cfg.restart_path);
 
     std::cout << "v2d: problem = " << cfg.problem << " ("
@@ -153,6 +206,11 @@ int main(int argc, char** argv) {
               << sim.analytic_error() << '\n';
     if (!cfg.checkpoint_path.empty())
       std::cout << "checkpoint written to " << cfg.checkpoint_path << '\n';
+    if (!sim.recovery().empty()) {
+      std::cout << "recovery ledger:\n";
+      for (const auto& ev : sim.recovery().events)
+        std::cout << "  " << resilience::format_event(ev) << '\n';
+    }
 
     TableWriter table("\nSimulated execution (per compiler profile)");
     table.set_columns({"profile", "time (s)", "flops", "bytes moved"});

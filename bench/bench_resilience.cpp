@@ -1,0 +1,274 @@
+/// \file bench_resilience.cpp
+/// \brief The price of resilience: guard overhead and recovery cost.
+///
+/// Two claims, two row kinds in one JSON:
+///
+///   * kind "guard" — `--guard on` scans every interior zone per step on
+///     the host; that validation must stay cheap (<= 5% host-time
+///     overhead) and must not perturb the simulation at all (guards are
+///     host-only and unpriced: fields and simulated clocks bit-identical
+///     to a guard-off run).  Host timings on tiny runs are noise, so the
+///     floor is judged only when the unguarded run takes long enough to
+///     resolve; rows carry "overhead_gate": "enforced" / "skipped".
+///
+///   * kind "retry" — recovering a faulted job from its latest finalized
+///     checkpoint must beat restarting it from scratch.  The honest
+///     metric is deterministic: farm-driven steps summed across attempts
+///     (host seconds ride along as context).  The recovered job is also
+///     re-verified bit-identical to the same job never faulted.
+///
+///   ./bench_resilience [--nx1 96 --nx2 48 --steps 6] [--repeats 3]
+///                      [--out BENCH_resilience.json]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/v2d.hpp"
+#include "farm/farm.hpp"
+#include "resilience/fault_plan.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace v2d;
+
+struct Capture {
+  std::vector<double> field;
+  std::vector<double> clocks;  // profile 0, per rank
+
+  bool operator==(const Capture&) const = default;
+};
+
+Capture capture(core::Simulation& sim) {
+  Capture c;
+  c.field = sim.radiation().field().gather_global();
+  for (int r = 0; r < sim.exec().nranks(); ++r)
+    c.clocks.push_back(sim.exec().rank_time(0, r));
+  return c;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Below this unguarded runtime the 5% floor is noise, not signal.
+constexpr double kGuardGateMinSeconds = 0.05;
+constexpr double kGuardGatePct = 5.0;
+
+struct GuardRow {
+  double plain_seconds = 1e300;
+  double guarded_seconds = 1e300;
+  double overhead_pct = 0.0;
+  bool identical = true;
+  std::string overhead_gate = "skipped";
+};
+
+struct RetryRow {
+  int steps = 0;
+  int fault_step = 0;
+  int checkpoint_every = 0;
+  long driven_ckpt = 0;
+  long driven_scratch = 0;
+  double ckpt_seconds = 1e300;
+  double scratch_seconds = 1e300;
+  bool recovered_identical = true;
+};
+
+/// One farmed run of `cfg` under a pinned step-exception fault, retried
+/// until it completes.  Returns driven steps across attempts and fills
+/// the final capture.
+long run_faulted(const core::RunConfig& cfg, int fault_step, Capture* cap,
+                 double* seconds) {
+  farm::FarmOptions fopt;
+  fopt.host_threads = 0;
+  fopt.fault_plan = resilience::FaultPlan(
+      17, "throw@" + std::to_string(fault_step));
+  fopt.max_retries = 2;
+  fopt.on_job_complete = [cap](std::size_t, core::Simulation& sim) {
+    *cap = capture(sim);
+  };
+  farm::FarmScheduler sched(fopt);
+  sched.add({"faulted", cfg});
+  const auto t0 = std::chrono::steady_clock::now();
+  const farm::FarmSummary sum = sched.run();
+  const double s = seconds_since(t0);
+  set_host_threads(0);
+  if (sum.failed != 0) {
+    std::cerr << "FAIL: faulted bench job did not recover: "
+              << sum.jobs[0].error << '\n';
+    std::exit(1);
+  }
+  if (s < *seconds) *seconds = s;
+  return sum.jobs[0].driven_steps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.add("nx1", "96", "zones in x1");
+  opt.add("nx2", "48", "zones in x2");
+  opt.add("steps", "6", "time steps (guard rows)");
+  opt.add("repeats", "3", "timing repetitions (best kept)");
+  opt.add("out", "BENCH_resilience.json", "JSON output path (empty = none)");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << opt.usage("bench_resilience");
+    return 1;
+  }
+
+  core::RunConfig cfg;
+  cfg.nx1 = static_cast<int>(opt.get_int("nx1"));
+  cfg.nx2 = static_cast<int>(opt.get_int("nx2"));
+  cfg.steps = static_cast<int>(opt.get_int("steps"));
+  cfg.compilers = {"cray"};
+  cfg.host_threads = 0;
+  const int repeats = std::max(1, static_cast<int>(opt.get_int("repeats")));
+
+  // --- guard overhead --------------------------------------------------------
+  GuardRow guard;
+  {
+    core::RunConfig guarded = cfg;
+    guarded.guard = true;
+    guarded.guard_drift = 0.5;
+    Capture plain_cap, guarded_cap;
+    for (int rep = 0; rep < repeats; ++rep) {
+      {
+        core::Simulation sim(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.run();
+        const double s = seconds_since(t0);
+        if (s < guard.plain_seconds) guard.plain_seconds = s;
+        plain_cap = capture(sim);
+      }
+      {
+        core::Simulation sim(guarded);
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.run();
+        const double s = seconds_since(t0);
+        if (s < guard.guarded_seconds) guard.guarded_seconds = s;
+        guarded_cap = capture(sim);
+      }
+      if (!(plain_cap == guarded_cap)) guard.identical = false;
+    }
+    guard.overhead_pct = 100.0 * (guard.guarded_seconds -
+                                  guard.plain_seconds) /
+                         guard.plain_seconds;
+    guard.overhead_gate = guard.plain_seconds >= kGuardGateMinSeconds
+                              ? "enforced"
+                              : "skipped";
+  }
+
+  // --- retry-from-checkpoint vs restart-from-scratch -------------------------
+  RetryRow retry;
+  retry.steps = 8;
+  retry.fault_step = 7;
+  retry.checkpoint_every = 2;
+  {
+    core::RunConfig job = cfg;
+    job.steps = retry.steps;
+
+    // Fault-free reference with the same checkpoint cadence (checkpoint
+    // Io is priced, so the cadence is part of the job's identity).
+    core::RunConfig ref_cfg = job;
+    ref_cfg.checkpoint_path = "bench_rez_ref.h5l";
+    ref_cfg.checkpoint_every = retry.checkpoint_every;
+    Capture ref;
+    {
+      core::Simulation sim(ref_cfg);
+      sim.run();
+      ref = capture(sim);
+    }
+
+    core::RunConfig ckpt_cfg = job;
+    ckpt_cfg.checkpoint_path = "bench_rez_job.h5l";
+    ckpt_cfg.checkpoint_every = retry.checkpoint_every;
+
+    Capture ckpt_cap, scratch_cap;
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::remove(ckpt_cfg.checkpoint_path.c_str());
+      retry.driven_ckpt = run_faulted(ckpt_cfg, retry.fault_step, &ckpt_cap,
+                                      &retry.ckpt_seconds);
+      retry.driven_scratch = run_faulted(job, retry.fault_step, &scratch_cap,
+                                         &retry.scratch_seconds);
+      if (!(ckpt_cap == ref)) retry.recovered_identical = false;
+    }
+    std::remove(ref_cfg.checkpoint_path.c_str());
+    std::remove(ckpt_cfg.checkpoint_path.c_str());
+  }
+
+  // --- report + gates --------------------------------------------------------
+  TableWriter table("Resilience overheads (" + std::to_string(cfg.nx1) + "x" +
+                    std::to_string(cfg.nx2) + ")");
+  table.set_columns({"row", "plain/scratch", "guarded/ckpt", "metric",
+                     "bit-identical", "gate"});
+  char overhead[32];
+  std::snprintf(overhead, sizeof overhead, "%+.2f%%", guard.overhead_pct);
+  table.add_row({"guard", TableWriter::num(guard.plain_seconds, 4) + " s",
+                 TableWriter::num(guard.guarded_seconds, 4) + " s", overhead,
+                 guard.identical ? "yes" : "NO", guard.overhead_gate});
+  table.add_row({"retry", std::to_string(retry.driven_scratch) + " steps",
+                 std::to_string(retry.driven_ckpt) + " steps",
+                 "driven steps across attempts",
+                 retry.recovered_identical ? "yes" : "NO", "enforced"});
+  table.print(std::cout);
+
+  const std::string out = opt.get("out");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "[\n  {\"kind\": \"guard\", \"nx1\": %d, \"nx2\": %d, \"steps\": %d, "
+        "\"plain_seconds\": %.6f, \"guarded_seconds\": %.6f, "
+        "\"overhead_pct\": %.3f, \"identical\": %s, "
+        "\"overhead_gate\": \"%s\"},\n",
+        cfg.nx1, cfg.nx2, cfg.steps, guard.plain_seconds,
+        guard.guarded_seconds, guard.overhead_pct,
+        guard.identical ? "true" : "false", guard.overhead_gate.c_str());
+    os << buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  {\"kind\": \"retry\", \"steps\": %d, \"fault_step\": %d, "
+        "\"checkpoint_every\": %d, \"driven_ckpt\": %ld, "
+        "\"driven_scratch\": %ld, \"ckpt_seconds\": %.6f, "
+        "\"scratch_seconds\": %.6f, \"recovered_identical\": %s}\n]\n",
+        retry.steps, retry.fault_step, retry.checkpoint_every,
+        retry.driven_ckpt, retry.driven_scratch, retry.ckpt_seconds,
+        retry.scratch_seconds, retry.recovered_identical ? "true" : "false");
+    os << buf;
+    std::cout << "wrote " << out << "\n";
+  }
+
+  int rc = 0;
+  if (!guard.identical) {
+    std::cerr << "FAIL: --guard on perturbed the simulation (fields or "
+                 "simulated clocks differ from guard-off)\n";
+    rc = 1;
+  }
+  if (guard.overhead_gate == "enforced" &&
+      guard.overhead_pct > kGuardGatePct) {
+    std::cerr << "FAIL: guard overhead " << guard.overhead_pct
+              << "% exceeds the " << kGuardGatePct << "% floor\n";
+    rc = 1;
+  }
+  if (!retry.recovered_identical) {
+    std::cerr << "FAIL: retried job diverged from the fault-free run\n";
+    rc = 1;
+  }
+  if (retry.driven_ckpt >= retry.driven_scratch) {
+    std::cerr << "FAIL: retry-from-checkpoint drove " << retry.driven_ckpt
+              << " steps, not fewer than restart-from-scratch's "
+              << retry.driven_scratch << "\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "linalg/exec_context.hpp"
+#include "linalg/precond.hpp"
 #include "scenario/registry.hpp"
 #include "support/error.hpp"
 #include "vla/vla.hpp"
@@ -28,6 +29,15 @@ void RunConfig::register_options(Options& opt) {
   opt.add("ganged", "1", "use ganged reductions (0|1)");
   opt.add("precond", "spai0",
           "preconditioner: identity|jacobi|spai0|spai|mg");
+  opt.add("solver-fallbacks", "",
+          "comma list of fallback preconditioners tried (in order) when a "
+          "solve breaks down or hits max iterations; empty = fail");
+  opt.add("guard", "off",
+          "per-step numeric guards: on (finite-field scan + conserved-total "
+          "check, host-only and unpriced) | off");
+  opt.add("guard-drift", "0",
+          "conservation-drift tolerance per step (relative; 0 = drift "
+          "sentinel off, finite checks still run under --guard on)");
   opt.add("mg-coarse-size", "8", "mg: stop coarsening at this grid size");
   opt.add("mg-levels", "12", "mg: maximum hierarchy depth");
   opt.add("mg-nu-pre", "2", "mg: pre-smoothing steps");
@@ -76,6 +86,25 @@ RunConfig RunConfig::from_options(const Options& opt) {
   c.max_iterations = static_cast<int>(opt.get_int("max-iter"));
   c.ganged = opt.get_bool("ganged");
   c.preconditioner = opt.get("precond");
+  c.solver_fallbacks.clear();
+  {
+    std::stringstream fb(opt.get("solver-fallbacks"));
+    std::string kind;
+    while (std::getline(fb, kind, ',')) {
+      if (kind.empty()) continue;
+      V2D_REQUIRE(linalg::is_preconditioner_kind(kind),
+                  "unknown fallback preconditioner '" + kind + "'");
+      c.solver_fallbacks.push_back(kind);
+    }
+  }
+  {
+    const std::string g = opt.get("guard");
+    V2D_REQUIRE(g == "on" || g == "off",
+                "guard must be 'on' or 'off', got '" + g + "'");
+    c.guard = g == "on";
+  }
+  c.guard_drift = opt.get_double("guard-drift");
+  V2D_REQUIRE(c.guard_drift >= 0.0, "guard-drift must be >= 0");
   c.mg_coarse_size = static_cast<int>(opt.get_int("mg-coarse-size"));
   c.mg_levels = static_cast<int>(opt.get_int("mg-levels"));
   c.mg_nu_pre = static_cast<int>(opt.get_int("mg-nu-pre"));

@@ -33,6 +33,12 @@ struct RunConfig {
   int max_iterations = 1000;
   bool ganged = true;
   std::string preconditioner = "spai0";
+  /// Deterministic solver fallback chain: when a solve breaks down or hits
+  /// max iterations, re-attempt from the same initial guess with each of
+  /// these preconditioners in order (recorded in the recovery ledger).
+  /// Empty (default) = fail as before.  Pinned in checkpoints: the chain
+  /// shapes the priced trajectory when it engages.
+  std::vector<std::string> solver_fallbacks;
 
   // --- multigrid preconditioner (used when preconditioner == "mg") ---
   int mg_coarse_size = 8;
@@ -64,6 +70,15 @@ struct RunConfig {
   /// "on" keeps the numerics pinned but moves fewer bytes, so both host
   /// time and simulated cycles drop.
   std::string fuse = "off";
+
+  // --- numeric guards (host-only; see src/resilience/guards.hpp) ---
+  /// Validate every step's results: finite scan of the radiation field
+  /// plus a finiteness check on the conserved total.  Unpriced — enabling
+  /// it moves no simulated cycles — so it is not pinned in checkpoints.
+  bool guard = false;
+  /// Conservation-drift tolerance per step (relative); 0 disables the
+  /// drift sentinel (finite checks still run when guard is on).
+  double guard_drift = 0.0;
 
   // --- output ---
   std::string checkpoint_path;  ///< empty = no checkpoint

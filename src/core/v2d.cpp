@@ -1,9 +1,12 @@
 #include "core/v2d.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <limits>
 #include <utility>
 
 #include "io/h5lite.hpp"
+#include "resilience/guards.hpp"
 #include "scenario/registry.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -99,6 +102,25 @@ sim::CostLedger read_ledger(const io::Group& group) {
 /// (steps, checkpoint cadence, restart path) and host-only knobs
 /// (host_threads, vla_exec — both provably bit-identical across settings)
 /// are deliberately not pinned.
+/// The stop reason of the first failed solve, for the non-convergence
+/// error message (the fallback chain has already given up by then).
+std::string worst_stop_reason(const rad::StepStats& stats) {
+  for (std::size_t site = 0; site < stats.solves.size(); ++site)
+    if (!stats.solves[site].converged)
+      return "site " + std::to_string(site) + ": " +
+             stats.solves[site].stop_reason;
+  return "converged";
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& s : items) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, std::string>> pinned_knobs(
     const RunConfig& cfg) {
   auto num = [](double v) {
@@ -126,6 +148,7 @@ std::vector<std::pair<std::string, std::string>> pinned_knobs(
       {"mg_max_direct_zones", std::to_string(cfg.mg_max_direct_zones)},
       {"vector_bits", std::to_string(cfg.vector_bits)},
       {"fuse", cfg.fuse},
+      {"solver_fallbacks", join(cfg.solver_fallbacks)},
   };
 }
 
@@ -185,6 +208,11 @@ rad::StepStats Simulation::advance() {
   for (std::size_t p = 0; p < em_->nprofiles(); ++p)
     before[p] = em_->elapsed(p);
 
+  // Re-arm the stepper's resilience context every step: the step number
+  // changes, and a stale injector pointer must never outlive its owner.
+  if (rad::RadiationStepper* s = problem_->stepper(); s != nullptr)
+    s->set_resilience(injector_, &recovery_, step_count_ + 1);
+
   const double dt = problem_->pick_dt(ctx_, cfg_);
   rad::StepStats stats = problem_->advance(ctx_, dt);
   t_ += dt;
@@ -205,14 +233,48 @@ rad::StepStats Simulation::advance() {
 
 rad::StepStats Simulation::drive_step() {
   const auto stats = advance();
-  V2D_CHECK(stats.all_converged(),
-            "solver failed to converge at step " +
+  // Injected NaN contamination lands after the step's physics — exactly
+  // the silent corruption the guards exist to catch.  With guards off it
+  // propagates into the next step's solves, as it would in production.
+  if (injector_ != nullptr &&
+      injector_->take(resilience::FaultKind::NanContaminate, step_count_)) {
+    if (linalg::DistVector* e = problem_->radiation(); e != nullptr) {
+      e->field().gset(0, 0, 0, std::numeric_limits<double>::quiet_NaN());
+      recovery_.record(step_count_, "injected-nan",
+                       "poisoned radiation field at zone (0, 0), species 0");
+    }
+  }
+  if (injector_ != nullptr &&
+      injector_->take(resilience::FaultKind::StepException, step_count_)) {
+    recovery_.record(step_count_, "injected-exception",
+                     "session step raised");
+    throw Error("injected session-step exception at step " +
                 std::to_string(step_count_));
+  }
+  if (cfg_.guard) run_guards();
+  V2D_CHECK(stats.all_converged(),
+            "solver failed to converge at step " + std::to_string(step_count_) +
+                " (" + worst_stop_reason(stats) + ")");
   if (!cfg_.checkpoint_path.empty() && cfg_.checkpoint_every > 0 &&
       step_count_ % cfg_.checkpoint_every == 0) {
     checkpoint(cfg_.checkpoint_path);
   }
   return stats;
+}
+
+void Simulation::run_guards() {
+  if (linalg::DistVector* e = problem_->radiation(); e != nullptr)
+    resilience::check_field_finite(e->field(), "radiation_energy",
+                                   step_count_);
+  const double energy = problem_->total_energy();
+  resilience::check_scalar_finite(energy, "total_energy", step_count_);
+  if (cfg_.guard_drift > 0.0) {
+    if (guard_has_prev_)
+      resilience::check_drift(energy, guard_prev_energy_, cfg_.guard_drift,
+                              "total_energy", step_count_);
+    guard_prev_energy_ = energy;
+    guard_has_prev_ = true;
+  }
 }
 
 void Simulation::finalize_checkpoints() {
@@ -289,6 +351,22 @@ void Simulation::checkpoint(const std::string& path) {
                    em_->ledger(p, r));
   }
 
+  if (injector_ != nullptr &&
+      injector_->take(resilience::FaultKind::CheckpointIo, step_count_)) {
+    // Model a crash mid-write: whatever bytes made it out land in the
+    // atomic writer's side file, never the real path — an existing
+    // finalized checkpoint stays valid for the retry.  The Io pricing
+    // above stands (the attempt did the work); the farm's restart wipes
+    // it along with the rest of the failed attempt.
+    const auto bytes = file.serialize();
+    std::ofstream torn(path + ".tmp", std::ios::binary | std::ios::trunc);
+    torn.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size() / 2));
+    recovery_.record(step_count_, "injected-io",
+                     "checkpoint write to '" + path + "' torn mid-stream");
+    throw Error("injected checkpoint I/O failure writing '" + path +
+                "' at step " + std::to_string(step_count_));
+  }
   file.save(path);
   // The duplicate-final-write suppression in run() only cares about the
   // configured path; a manual checkpoint elsewhere must not mask it.
@@ -323,6 +401,8 @@ void Simulation::restart(const std::string& path) {
 
   t_ = root.attr_f64("time");
   step_count_ = static_cast<int>(root.attr_i64("step"));
+  // The drift sentinel has no baseline across a restart boundary.
+  guard_has_prev_ = false;
   // Resuming from the run's own configured checkpoint counts as that file
   // being up to date; resuming from any other file must not suppress the
   // configured path's final write.

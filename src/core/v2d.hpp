@@ -26,6 +26,8 @@
 #include "mpisim/exec_model.hpp"
 #include "perfmon/profiler.hpp"
 #include "rad/radstep.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/recovery.hpp"
 #include "scenario/problem.hpp"
 #include "sim/machine.hpp"
 
@@ -95,6 +97,20 @@ public:
     return profilers_.at(p);
   }
 
+  /// Borrow a fault injector (see resilience/fault_plan.hpp): drive_step()
+  /// consults it for scheduled NaN/exception/checkpoint faults and the
+  /// stepper for solver breakdowns.  The injector outlives the session —
+  /// the farm keeps it across retry attempts so a consumed (transient)
+  /// fault stays consumed.  Null (default) = no injection.
+  void set_fault_injector(resilience::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// This session's recovery ledger: injected faults and solver fallbacks
+  /// recorded step by step.  The farm copies it out before retiring or
+  /// retrying the session.
+  const resilience::RecoveryLedger& recovery() const { return recovery_; }
+
   /// The problem's correctness number at the current time: analytic error
   /// where a reference exists, relative conservation violation otherwise.
   double analytic_error() const;
@@ -117,6 +133,9 @@ public:
   void restart(const std::string& path);
 
 private:
+  /// The --guard checks for the step just taken (no-op unless cfg.guard).
+  void run_guards();
+
   RunConfig cfg_;
   std::unique_ptr<scenario::Problem> problem_;
   grid::Grid2D grid_;
@@ -127,6 +146,12 @@ private:
   double t_ = 0.0;
   int step_count_ = 0;
   int last_checkpoint_step_ = -1;
+  resilience::FaultInjector* injector_ = nullptr;
+  resilience::RecoveryLedger recovery_;
+  /// Drift-sentinel baseline; invalid until the first guarded step after
+  /// construction or restart (the first step has nothing to drift from).
+  double guard_prev_energy_ = 0.0;
+  bool guard_has_prev_ = false;
 };
 
 }  // namespace v2d::core

@@ -20,8 +20,15 @@
 /// is purely a host-throughput optimization, pinned by the farm
 /// determinism suite.  Wave interleaving carries no numerical meaning.
 ///
-/// A job that throws (non-convergence, bad restart file) is retired with
-/// its error recorded in its JobResult; the remaining jobs keep running.
+/// A job that throws (non-convergence, injected fault, bad restart file)
+/// is retried with capped exponential backoff — measured in waves —
+/// resuming from its own latest finalized checkpoint when it has one,
+/// until FarmOptions::max_retries is exhausted; then it is quarantined
+/// with its cause and full recovery ledger in its JobResult, and the
+/// remaining jobs keep running.  Recovery is deterministic: retry resumes
+/// restore clocks/ledgers bit-exactly, so a job that faults and retries
+/// finishes bit-identical to the same job never faulted (pinned by
+/// tests/test_resilience.cpp).
 
 #include <cstdint>
 #include <functional>
@@ -32,6 +39,8 @@
 
 #include "core/session_shared.hpp"
 #include "core/v2d.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/recovery.hpp"
 
 namespace v2d::farm {
 
@@ -59,6 +68,25 @@ struct FarmOptions {
   /// here for exact comparison against solo runs.
   std::function<void(std::size_t job_index, core::Simulation&)>
       on_job_complete;
+
+  /// Seeded fault injection (inactive by default): every job gets a
+  /// deterministic schedule derived from (seed, job name).
+  resilience::FaultPlan fault_plan;
+  /// Failed jobs are re-admitted up to this many times (0 = the pre-retry
+  /// behavior: one strike and out).  Each retry resumes from the job's
+  /// latest finalized checkpoint when its config writes one, from its
+  /// original restart point otherwise.
+  int max_retries = 0;
+  /// Exponential backoff before re-admission, measured in scheduler
+  /// waves: the k-th retry waits min(base << (k-1), cap) waves.
+  int backoff_base_waves = 1;
+  int backoff_cap_waves = 8;
+  /// Per-job budgets (0 = unlimited): farm-driven steps summed across all
+  /// attempts, and simulated seconds on profile 0.  A job exceeding
+  /// either is quarantined as a deadline failure — the fate of runaway
+  /// retry loops and jobs that can never finish.
+  long job_step_budget = 0;
+  double job_sim_budget = 0.0;
 };
 
 /// Outcome of one job.  `error` is empty on success; on failure the other
@@ -68,19 +96,37 @@ struct JobResult {
   std::string problem;
   std::string error;
   int steps = 0;             ///< total steps taken (includes restart base)
-  int farmed_steps = 0;      ///< steps the farm itself drove
+  int farmed_steps = 0;      ///< steps the farm drove in the final attempt
   double sim_time = 0.0;     ///< simulated physics time reached
   double analytic_error = 0.0;
   double total_energy = 0.0;
   /// Simulated wall-clock per compiler profile: (profile name, seconds) —
   /// the Table I numbers, bit-identical to a solo run's.
   std::vector<std::pair<std::string, double>> profile_elapsed;
+  /// Sessions admitted for this job (1 = finished first try).
+  int attempts = 1;
+  /// Farm-driven steps summed over every attempt (re-driven steps after a
+  /// retry count again — the cost of recovery).
+  long driven_steps = 0;
+  /// Failure classification for the result table ("" on success):
+  /// "guard", "solver", "io", "injected", "setup", "deadline", or
+  /// "error"; prefixed with "quarantined: " once retries are exhausted.
+  std::string cause;
+  /// Full recovery ledger accumulated across attempts: injected faults,
+  /// solver fallbacks, retries, backoffs, quarantine.
+  std::vector<resilience::RecoveryEvent> recovery;
 };
 
 /// Aggregate throughput + shared-runtime statistics for one run().
 struct FarmSummary {
   std::vector<JobResult> jobs;
   std::size_t failed = 0;
+  /// Retry attempts across all jobs (admissions beyond each job's first).
+  std::uint64_t retries = 0;
+  /// Jobs that failed with retries exhausted (subset of `failed`).
+  std::uint64_t quarantined = 0;
+  /// Scheduler waves the batch took (backoff is measured in these).
+  std::uint64_t waves = 0;
   double host_seconds = 0.0;
   std::uint64_t scenario_steps = 0;  ///< farm-driven steps, all jobs
   double jobs_per_sec = 0.0;

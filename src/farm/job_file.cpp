@@ -85,7 +85,8 @@ std::vector<FarmJob> parse_job_file(const std::string& path) {
                   path + ":" + std::to_string(lineno) +
                       ": duplicate job name '" + jobs.back().name + "'");
   }
-  V2D_REQUIRE(!jobs.empty(), "job file '" + path + "' defines no jobs");
+  V2D_REQUIRE(!jobs.empty(), "job file '" + path +
+                  "' defines no jobs (empty or comment-only)");
   return jobs;
 }
 

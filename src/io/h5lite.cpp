@@ -1,5 +1,6 @@
 #include "io/h5lite.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -274,12 +275,22 @@ H5File H5File::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 void H5File::save(const std::string& path) const {
+  // Atomic replace: serialize into a side file, then rename over the
+  // target.  A crash mid-write leaves at worst a torn `.tmp` beside an
+  // intact previous checkpoint — a truncated file can never land on the
+  // real path and poison a later --restart.
   const auto bytes = serialize();
-  std::ofstream os(path, std::ios::binary);
-  V2D_REQUIRE(os.good(), "h5lite: cannot open for writing: " + path);
-  os.write(reinterpret_cast<const char*>(bytes.data()),
-           static_cast<std::streamsize>(bytes.size()));
-  V2D_REQUIRE(os.good(), "h5lite: write failed: " + path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    V2D_REQUIRE(os.good(), "h5lite: cannot open for writing: " + tmp);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    V2D_REQUIRE(os.good(), "h5lite: write failed: " + tmp);
+  }
+  V2D_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "h5lite: cannot replace '" + path + "' with '" + tmp + "'");
 }
 
 H5File H5File::load(const std::string& path) {

@@ -348,6 +348,11 @@ void SpaiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
   m_.apply_as(ctx, x, y, KernelFamily::Precond, "precond");
 }
 
+bool is_preconditioner_kind(const std::string& kind) {
+  return kind == "identity" || kind == "jacobi" || kind == "spai0" ||
+         kind == "spai" || kind == "mg";
+}
+
 std::unique_ptr<Preconditioner> make_preconditioner(const std::string& kind,
                                                     ExecContext& ctx,
                                                     const StencilOperator& A) {

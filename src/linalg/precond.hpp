@@ -116,6 +116,11 @@ namespace mg {
 struct MgOptions;
 }  // namespace mg
 
+/// True when `kind` names a preconditioner the factory can build — lets
+/// config validation (e.g. --solver-fallbacks) fail at parse time instead
+/// of mid-run when a fallback first engages.
+bool is_preconditioner_kind(const std::string& kind);
+
 /// Factory by short name: "identity" | "jacobi" | "spai0" | "spai" | "mg".
 /// "mg" builds a geometric multigrid V-cycle with default options (see
 /// linalg/mg/mg_precond.hpp).

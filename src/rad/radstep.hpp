@@ -21,11 +21,14 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "linalg/bicgstab.hpp"
 #include "linalg/mg/options.hpp"
 #include "rad/fld.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/recovery.hpp"
 
 namespace v2d::rad {
 
@@ -63,6 +66,27 @@ public:
   FldBuilder& builder() { return builder_; }
   const linalg::SolveOptions& solver_options() const { return opt_; }
 
+  /// Deterministic fallback chain: when a solve fails (breakdown or max
+  /// iterations), re-attempt from the same initial guess with each of
+  /// these preconditioners in order.  Empty (default) = fail as before —
+  /// the chain never engages on a converging solve, so configuring it
+  /// changes nothing until a failure actually happens.
+  void set_fallbacks(std::vector<std::string> kinds) {
+    fallbacks_ = std::move(kinds);
+  }
+  const std::vector<std::string>& fallbacks() const { return fallbacks_; }
+
+  /// Per-step resilience context, re-armed by the driver before every
+  /// advance: the fault injector consulted for scheduled breakdowns
+  /// (null = none), the recovery ledger fallback events are recorded to
+  /// (null = unrecorded), and the 1-based step number being computed.
+  void set_resilience(resilience::FaultInjector* injector,
+                      resilience::RecoveryLedger* ledger, int step) {
+    injector_ = injector;
+    recovery_ = ledger;
+    step_ = step;
+  }
+
   /// Advance the radiation field by dt in place.
   StepStats step(linalg::ExecContext& ctx, linalg::DistVector& e, double dt);
 
@@ -75,11 +99,15 @@ private:
   linalg::SolveStats run_solve(linalg::ExecContext& ctx,
                                linalg::StencilOperator& A,
                                linalg::DistVector& x,
-                               const linalg::DistVector& b);
+                               const linalg::DistVector& b, int site);
 
   FldBuilder builder_;
   linalg::SolveOptions opt_;
   std::string precond_kind_;
+  std::vector<std::string> fallbacks_;
+  resilience::FaultInjector* injector_ = nullptr;
+  resilience::RecoveryLedger* recovery_ = nullptr;
+  int step_ = 0;
   linalg::mg::MgOptions mg_options_;
   linalg::StencilOperator a_diffusion_;
   linalg::StencilOperator a_coupling_;

@@ -1,0 +1,166 @@
+#include "resilience/fault_plan.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace v2d::resilience {
+
+namespace {
+
+/// FNV-1a, so the per-job stream depends on the name, not the add order.
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+FaultKind kind_from_name(const std::string& name) {
+  if (name == "breakdown") return FaultKind::SolverBreakdown;
+  if (name == "nan") return FaultKind::NanContaminate;
+  if (name == "io") return FaultKind::CheckpointIo;
+  if (name == "throw") return FaultKind::StepException;
+  throw Error("fault spec: unknown fault kind '" + name +
+              "' (expected breakdown|nan|io|throw)");
+}
+
+int parse_positive(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  V2D_REQUIRE(pos == text.size() && v > 0,
+              std::string("fault spec: bad ") + what + " '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::SolverBreakdown: return "breakdown";
+    case FaultKind::NanContaminate: return "nan";
+    case FaultKind::CheckpointIo: return "io";
+    case FaultKind::StepException: return "throw";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, const std::string& spec)
+    : seed_(seed) {
+  std::string clause;
+  auto flush = [&]() {
+    const std::string text = trim(clause);
+    clause.clear();
+    if (text.empty()) return;
+    Clause c;
+    std::string kind = text;
+    if (const auto at = text.find('@'); at != std::string::npos) {
+      kind = trim(text.substr(0, at));
+      c.pinned_step = parse_positive(trim(text.substr(at + 1)), "step");
+    } else if (const auto colon = text.find(':'); colon != std::string::npos) {
+      kind = trim(text.substr(0, colon));
+      c.count = parse_positive(trim(text.substr(colon + 1)), "count");
+    }
+    c.kind = kind_from_name(kind);
+    clauses_.push_back(c);
+  };
+  for (const char ch : spec) {
+    if (ch == ',' || ch == ';') {
+      flush();
+    } else {
+      clause.push_back(ch);
+    }
+  }
+  flush();
+  V2D_REQUIRE(!active() || !clauses_.empty(),
+              "fault spec '" + spec + "' defines no faults");
+}
+
+std::vector<FaultEvent> FaultPlan::schedule(const std::string& job,
+                                            int first_step,
+                                            int last_step) const {
+  std::vector<FaultEvent> out;
+  if (!active() || last_step <= first_step) return out;
+
+  // One stream per (seed, job name): independent of add order, wave
+  // interleaving and every other job in the batch.
+  Rng rng(seed_ ^ hash_name(job));
+  const auto range = static_cast<std::uint64_t>(last_step - first_step);
+  std::set<std::pair<int, int>> taken;  // (kind, step) dedupe
+
+  for (const Clause& c : clauses_) {
+    const int want = c.pinned_step > 0 ? 1 : c.count;
+    for (int k = 0; k < want; ++k) {
+      FaultEvent ev;
+      ev.kind = c.kind;
+      if (c.pinned_step > 0) {
+        ev.step = c.pinned_step;
+      } else {
+        // Bounded redraw on collision; a spec asking for more faults of a
+        // kind than there are steps simply saturates.
+        for (int tries = 0; tries < 64; ++tries) {
+          ev.step = first_step + 1 + static_cast<int>(rng.below(range));
+          if (taken.find({static_cast<int>(c.kind), ev.step}) == taken.end())
+            break;
+        }
+      }
+      if (c.kind == FaultKind::SolverBreakdown)
+        ev.site = static_cast<int>(rng.below(3));
+      if (ev.step <= first_step || ev.step > last_step) continue;
+      if (!taken.insert({static_cast<int>(c.kind), ev.step}).second) continue;
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a,
+                                       const FaultEvent& b) {
+    if (a.step != b.step) return a.step < b.step;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+bool FaultInjector::take(FaultKind kind, int step) {
+  for (FaultEvent& ev : events_) {
+    if (!ev.consumed && ev.kind == kind && ev.step == step) {
+      ev.consumed = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::take_breakdown(int step, int site) {
+  for (FaultEvent& ev : events_) {
+    if (!ev.consumed && ev.kind == FaultKind::SolverBreakdown &&
+        ev.step == step && ev.site == site) {
+      ev.consumed = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FaultInjector::pending() const {
+  std::size_t n = 0;
+  for (const FaultEvent& ev : events_)
+    if (!ev.consumed) ++n;
+  return n;
+}
+
+}  // namespace v2d::resilience

@@ -1,0 +1,106 @@
+#pragma once
+/// \file fault_plan.hpp
+/// \brief Deterministic seeded fault injection (the chaos layer).
+///
+/// In the spirit of mpisim — model the failure, don't suffer it — faults
+/// are *scheduled*, not random at run time: a FaultPlan maps (seed, spec,
+/// job name) to a fixed list of FaultEvents at (step, kind) coordinates.
+/// The schedule depends only on those inputs, never on wave interleaving,
+/// thread count or wall clock, so the same seed always reproduces the
+/// same failures — which is what lets the recovery pins demand
+/// bit-identical results.
+///
+/// Spec grammar (comma- or semicolon-separated clauses):
+///
+///   kind          one fault of `kind` at a seeded step
+///   kind:count    `count` faults of `kind` at seeded distinct steps
+///   kind@step     one fault of `kind` pinned to `step` (same for all jobs)
+///
+/// with kind one of
+///
+///   breakdown     force a solver breakdown at one of the three call sites
+///   nan           poison the radiation field with a NaN after the step
+///   io            fail the checkpoint write (torn .tmp, real path intact)
+///   throw         raise a plain exception out of the session step
+///
+/// Each scheduled event fires exactly once per job — it models a
+/// transient; a retry re-executing the same step does not re-fault.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace v2d::resilience {
+
+enum class FaultKind : std::uint8_t {
+  SolverBreakdown,  ///< synthetic non-convergence at a solve call site
+  NanContaminate,   ///< NaN written into the radiation field
+  CheckpointIo,     ///< checkpoint write dies mid-stream
+  StepException,    ///< plain exception out of drive_step()
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::StepException;
+  int step = 0;          ///< 1-based step the fault fires at
+  int site = 0;          ///< solve call site 0..2 (SolverBreakdown only)
+  bool consumed = false; ///< set once the fault has fired
+};
+
+/// Seed + parsed spec; stateless schedule generator.  A default-constructed
+/// plan (seed 0) is inactive: schedule() returns nothing, so every consumer
+/// can hold one unconditionally.
+class FaultPlan {
+public:
+  FaultPlan() = default;
+  /// Throws v2d::Error on an unparseable spec.  seed 0 = injection off.
+  FaultPlan(std::uint64_t seed, const std::string& spec);
+
+  bool active() const { return seed_ != 0; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// The deterministic fault schedule for job `job` over steps
+  /// (first_step, last_step].  Pinned `kind@step` clauses outside that
+  /// range are dropped (the job never reaches them).  Sorted by step.
+  std::vector<FaultEvent> schedule(const std::string& job, int first_step,
+                                   int last_step) const;
+
+private:
+  struct Clause {
+    FaultKind kind = FaultKind::StepException;
+    int count = 1;  ///< seeded events to schedule (pinned_step == 0)
+    int pinned_step = 0;  ///< explicit step from kind@step (0 = seeded)
+  };
+
+  std::uint64_t seed_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// A job's consumable copy of its schedule.  Owned by whoever drives the
+/// job (the farm keeps it alive across retry attempts so a fault that
+/// already fired stays fired); the Simulation only borrows it.
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  /// Consume the pending event of `kind` at `step`, if any.
+  bool take(FaultKind kind, int step);
+
+  /// Consume a pending SolverBreakdown at (step, site), if any.
+  bool take_breakdown(int step, int site);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Events that have not fired (yet, or ever — e.g. an io fault on a job
+  /// that writes no checkpoints).
+  std::size_t pending() const;
+
+private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace v2d::resilience

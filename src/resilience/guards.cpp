@@ -1,0 +1,62 @@
+#include "resilience/guards.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "grid/dist_field.hpp"
+
+namespace v2d::resilience {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void check_field_finite(const grid::DistField& f, const std::string& name,
+                        int step) {
+  const grid::Decomposition& dec = f.decomp();
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const grid::TileExtent& ext = dec.extent(r);
+    for (int s = 0; s < f.ns(); ++s) {
+      const grid::TileView v = f.view(r, s);
+      for (int lj = 0; lj < ext.nj; ++lj) {
+        const double* row = v.row(lj);
+        for (int li = 0; li < ext.ni; ++li) {
+          if (!std::isfinite(row[li])) {
+            throw GuardError(
+                step, name,
+                "non-finite value " + num(row[li]) + " at zone (" +
+                    std::to_string(ext.i0 + li) + ", " +
+                    std::to_string(ext.j0 + lj) + "), species " +
+                    std::to_string(s) + ", rank " + std::to_string(r));
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_scalar_finite(double v, const std::string& name, int step) {
+  if (!std::isfinite(v))
+    throw GuardError(step, name, "non-finite value " + num(v));
+}
+
+void check_drift(double now, double prev, double tol, const std::string& name,
+                 int step) {
+  const double scale = std::max(std::fabs(prev), 1e-300);
+  const double drift = std::fabs(now - prev) / scale;
+  if (!(drift <= tol)) {
+    throw GuardError(step, name,
+                     "conservation drift " + num(drift) + " exceeds " +
+                         num(tol) + " (" + num(prev) + " -> " + num(now) +
+                         ")");
+  }
+}
+
+}  // namespace v2d::resilience

@@ -1,0 +1,58 @@
+#pragma once
+/// \file guards.hpp
+/// \brief Numeric guards: turn silent NaN propagation into structured errors.
+///
+/// With `--guard on` the driver validates every step's results on the host
+/// — a full finite scan of the radiation field plus a finiteness (and,
+/// optionally, drift) check on the conserved total — and throws a
+/// GuardError naming the step, field and zone the moment contamination
+/// appears, instead of letting NaN silently poison the next hundred
+/// steps' solves.
+///
+/// Guards are *host-only* and deliberately unpriced: they model the
+/// development/chaos harness, not the production code under study, so
+/// enabling them must not move a single simulated cycle.
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace v2d::grid {
+class DistField;
+}
+
+namespace v2d::resilience {
+
+/// A guard trip: the error message names the step and field; the typed
+/// accessors let recovery policy branch without string matching.
+class GuardError : public Error {
+public:
+  GuardError(int step, std::string field, const std::string& detail)
+      : Error("numeric guard tripped at step " + std::to_string(step) +
+              ", field '" + field + "': " + detail),
+        step_(step),
+        field_(std::move(field)) {}
+
+  int step() const { return step_; }
+  const std::string& field() const { return field_; }
+
+private:
+  int step_;
+  std::string field_;
+};
+
+/// Scan every interior zone of every rank/species for NaN/Inf; throws
+/// GuardError locating the first offender (global zone, species, rank).
+void check_field_finite(const grid::DistField& f, const std::string& name,
+                        int step);
+
+/// Throw GuardError when a scalar diagnostic is NaN/Inf.
+void check_scalar_finite(double v, const std::string& name, int step);
+
+/// Conservation-drift sentinel: throw GuardError when |now - prev|
+/// exceeds `tol` relative to prev.  Callers keep `prev` across steps and
+/// reset it after a restart (the first post-restart step has no baseline).
+void check_drift(double now, double prev, double tol, const std::string& name,
+                 int step);
+
+}  // namespace v2d::resilience

@@ -1,0 +1,46 @@
+#pragma once
+/// \file recovery.hpp
+/// \brief The per-job recovery ledger: what went wrong and what was done.
+///
+/// Every recovery action — an injected fault firing, a solver fallback
+/// engaging, a retry resuming from a checkpoint, a backoff wait, a
+/// quarantine — appends one RecoveryEvent.  The farm accumulates a job's
+/// events across all its attempts (session-level events are copied out
+/// before a failed session is destroyed) and surfaces the full ledger in
+/// the JobResult, so a post-mortem never depends on scraping logs.
+
+#include <string>
+#include <vector>
+
+namespace v2d::resilience {
+
+struct RecoveryEvent {
+  int step = 0;         ///< session step the event is tied to (0 = farm-level)
+  std::string action;   ///< short tag: "injected-nan", "solver-fallback",
+                        ///< "retry", "backoff", "quarantine", ...
+  std::string detail;   ///< human-readable specifics
+  /// Action-dependent magnitude: backoff waves for "backoff", attempt
+  /// number for "retry", call site for solver events.  Structured so tests
+  /// can assert ordering without parsing `detail`.
+  long value = 0;
+};
+
+struct RecoveryLedger {
+  std::vector<RecoveryEvent> events;
+
+  void record(int step, std::string action, std::string detail,
+              long value = 0) {
+    events.push_back({step, std::move(action), std::move(detail), value});
+  }
+  bool empty() const { return events.empty(); }
+};
+
+inline std::string format_event(const RecoveryEvent& ev) {
+  std::string out;
+  if (ev.step > 0) out += "step " + std::to_string(ev.step) + ": ";
+  out += ev.action;
+  if (!ev.detail.empty()) out += " — " + ev.detail;
+  return out;
+}
+
+}  // namespace v2d::resilience

@@ -27,10 +27,12 @@ inline linalg::SolveOptions solve_options(const core::RunConfig& cfg) {
 /// with the configured solver/preconditioner knobs.
 inline std::unique_ptr<rad::RadiationStepper> make_stepper(
     const ProblemSetup& setup, rad::FldBuilder builder) {
-  return std::make_unique<rad::RadiationStepper>(
+  auto stepper = std::make_unique<rad::RadiationStepper>(
       *setup.grid, *setup.dec, std::move(builder),
       solve_options(*setup.cfg), setup.cfg->preconditioner,
       setup.cfg->mg_options(), setup.workspace_pool);
+  stepper->set_fallbacks(setup.cfg->solver_fallbacks);
+  return stepper;
 }
 
 }  // namespace v2d::scenario

@@ -299,5 +299,215 @@ TEST(FarmJobFile, ParsesFilesWithCommentsAndRejectsDuplicates) {
   std::remove(path.c_str());
 }
 
+TEST(FarmJobFile, EmptyOrCommentOnlyFileFailsEarly) {
+  const std::string path = temp_path("farm_empty_jobs.txt");
+  {
+    std::ofstream out(path);
+    out << "# nothing but comments\n"
+        << "   \n"
+        << "# and blank lines\n";
+  }
+  try {
+    farm::parse_job_file(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("defines no jobs"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+
+  farm::FarmScheduler sched;
+  EXPECT_THROW(sched.run(), Error);  // no jobs queued: refuse, don't no-op
+}
+
+// --- fault injection + recovery ----------------------------------------------
+
+std::vector<std::string> actions_of(
+    const std::vector<resilience::RecoveryEvent>& events) {
+  std::vector<std::string> out;
+  for (const auto& ev : events) out.push_back(ev.action);
+  return out;
+}
+
+/// The headline invariant of the resilience layer: a farmed job that
+/// faults, backs off, and retries from its latest finalized checkpoint
+/// finishes bit-identical — fields, per-profile per-rank clocks, full
+/// cost ledgers — to the same job never faulted, in both --vla-exec
+/// modes.  The reference solo run uses the *same* checkpoint cadence
+/// (checkpoint Io is priced); retry wipes the failed attempt's partial
+/// pricing because re-admission restores clocks/ledgers from the
+/// checkpoint bit-exactly.
+TEST(FarmResilience, RetryFromCheckpointBitIdenticalToFaultFree) {
+  for (const std::string mode : {"native", "interpret"}) {
+    const std::string ref_ck = temp_path("farm_rz_ref_" + mode + ".h5l");
+    const std::string job_ck = temp_path("farm_rz_job_" + mode + ".h5l");
+
+    core::RunConfig ref_cfg = pulse_config();
+    ref_cfg.steps = 6;
+    ref_cfg.vla_exec = mode;
+    ref_cfg.checkpoint_path = ref_ck;
+    ref_cfg.checkpoint_every = 2;
+    const SimCapture ref = run_solo(ref_cfg);
+
+    core::RunConfig job_cfg = ref_cfg;
+    job_cfg.checkpoint_path = job_ck;
+
+    // The decoy keeps the wave loop honest (another session is resident
+    // while the faulted job backs off); its 2 steps sit below the pinned
+    // fault step, so its schedule is empty.
+    core::RunConfig decoy = pulse_config();
+    decoy.vla_exec = mode;
+
+    farm::FarmOptions opt;
+    opt.host_threads = 2;
+    opt.fault_plan = resilience::FaultPlan(11, "throw@5");
+    opt.max_retries = 2;
+    SimCapture faulted_cap;
+    bool captured = false;
+    opt.on_job_complete = [&](std::size_t i, core::Simulation& sim) {
+      if (i == 0) {
+        faulted_cap = testutil::capture(sim);
+        captured = true;
+      }
+    };
+    farm::FarmScheduler sched(opt);
+    sched.add({"faulted", job_cfg});
+    sched.add({"decoy", decoy});
+    const farm::FarmSummary sum = sched.run();
+    set_host_threads(0);
+
+    EXPECT_EQ(sum.failed, 0u);
+    EXPECT_EQ(sum.retries, 1u);
+    EXPECT_EQ(sum.quarantined, 0u);
+    const farm::JobResult& r = sum.jobs[0];
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.attempts, 2);
+    EXPECT_TRUE(r.cause.empty());
+    EXPECT_EQ(r.steps, 6);
+    // Attempt 1 drove steps 1..5, attempt 2 re-drove 5..6 from the step-4
+    // checkpoint: recovery's true cost shows up in driven_steps.
+    EXPECT_EQ(r.driven_steps, 7);
+    EXPECT_EQ(r.farmed_steps, 2);
+
+    const auto actions = actions_of(r.recovery);
+    ASSERT_EQ(actions.size(), 3u);
+    EXPECT_EQ(actions[0], "injected-exception");
+    EXPECT_EQ(actions[1], "backoff");
+    EXPECT_EQ(actions[2], "retry");
+    EXPECT_EQ(r.recovery[1].value, 1);  // first retry: base backoff
+    EXPECT_NE(r.recovery[2].detail.find("step 4"), std::string::npos);
+
+    ASSERT_TRUE(captured);
+    testutil::expect_captures_identical(ref, faulted_cap,
+                                        "retry-from-checkpoint/" + mode);
+
+    // The decoy never saw a fault and never retried.
+    EXPECT_EQ(sum.jobs[1].attempts, 1);
+    EXPECT_TRUE(sum.jobs[1].recovery.empty());
+
+    std::remove(ref_ck.c_str());
+    std::remove(job_ck.c_str());
+  }
+}
+
+/// Retries exhaust, backoff doubles per wave up to the cap, and the job
+/// lands in quarantine with its cause and full ledger — while the rest of
+/// the farm finishes normally.
+TEST(FarmResilience, QuarantineAfterRetryExhaustionWithDoublingBackoff) {
+  core::RunConfig doomed = pulse_config();
+  doomed.steps = 5;  // no checkpoint: every retry restarts from scratch
+
+  farm::FarmOptions opt;
+  opt.host_threads = 2;
+  // One pinned fault per attempt: the retry gets one step further each
+  // time and trips the next one.
+  opt.fault_plan =
+      resilience::FaultPlan(3, "throw@1; throw@2; throw@3; throw@4");
+  opt.max_retries = 3;
+  farm::FarmScheduler sched(opt);
+  sched.add({"doomed", doomed});
+  sched.add({"bystander", pulse_config()});
+  const farm::FarmSummary sum = sched.run();
+  set_host_threads(0);
+
+  EXPECT_EQ(sum.failed, 1u);
+  EXPECT_EQ(sum.quarantined, 1u);
+  // 3 from the doomed job + 2 from the bystander (see below).
+  EXPECT_EQ(sum.retries, 5u);
+  const farm::JobResult& r = sum.jobs[0];
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_EQ(r.cause, "quarantined: injected");
+  EXPECT_NE(r.error.find("injected session-step exception"),
+            std::string::npos);
+
+  // Backoff ordering across waves: 1, 2, 4 waves before the three
+  // retries, then quarantine.
+  std::vector<long> backoffs;
+  int quarantines = 0;
+  for (const auto& ev : r.recovery) {
+    if (ev.action == "backoff") backoffs.push_back(ev.value);
+    if (ev.action == "quarantine") ++quarantines;
+  }
+  EXPECT_EQ(backoffs, (std::vector<long>{1, 2, 4}));
+  EXPECT_EQ(quarantines, 1);
+
+  // The plan schedules faults for every job: the 2-step bystander trips
+  // the pinned throws at steps 1 and 2 on its first two attempts, then
+  // finishes clean on the third — transient faults are survivable even
+  // with no checkpoint to resume from, and quarantine of the doomed job
+  // is isolation, not contagion.
+  EXPECT_TRUE(sum.jobs[1].error.empty());
+  EXPECT_EQ(sum.jobs[1].attempts, 3);
+  EXPECT_TRUE(sum.jobs[1].cause.empty());
+}
+
+TEST(FarmResilience, BackoffIsCappedAtTheCeiling) {
+  core::RunConfig doomed = pulse_config();
+  doomed.steps = 6;
+
+  farm::FarmOptions opt;
+  opt.host_threads = 1;
+  // One fault per attempt, five attempts deep: base 2 doubles to 4, then
+  // saturates at the cap of 5 for the remaining retries.
+  opt.fault_plan = resilience::FaultPlan(
+      9, "throw@1; throw@2; throw@3; throw@4; throw@5");
+  opt.max_retries = 4;
+  opt.backoff_base_waves = 2;
+  opt.backoff_cap_waves = 5;
+  farm::FarmScheduler sched(opt);
+  sched.add({"doomed", doomed});
+  const farm::FarmSummary sum = sched.run();
+  set_host_threads(0);
+
+  EXPECT_EQ(sum.failed, 1u);
+  const farm::JobResult& r = sum.jobs[0];
+  EXPECT_EQ(r.attempts, 5);
+  std::vector<long> backoffs;
+  for (const auto& ev : r.recovery)
+    if (ev.action == "backoff") backoffs.push_back(ev.value);
+  EXPECT_EQ(backoffs, (std::vector<long>{2, 4, 5, 5}));
+}
+
+TEST(FarmResilience, StepBudgetBecomesADeadlineFailureWithoutRetry) {
+  core::RunConfig runaway = pulse_config();
+  runaway.steps = 10;
+
+  farm::FarmOptions opt;
+  opt.host_threads = 1;
+  opt.job_step_budget = 3;
+  opt.max_retries = 5;  // retries must NOT rescue a deadline
+  farm::FarmScheduler sched(opt);
+  sched.add({"runaway", runaway});
+  const farm::FarmSummary sum = sched.run();
+  set_host_threads(0);
+
+  EXPECT_EQ(sum.failed, 1u);
+  EXPECT_EQ(sum.retries, 0u);
+  const farm::JobResult& r = sum.jobs[0];
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.cause, "deadline");
+  EXPECT_NE(r.error.find("step budget"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace v2d

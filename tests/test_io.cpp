@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "io/h5lite.hpp"
@@ -108,6 +110,31 @@ TEST(H5Lite, EmptyFileRoundTrips) {
   const H5File back = H5File::deserialize(H5File{}.serialize());
   EXPECT_TRUE(back.root().groups().empty());
   EXPECT_TRUE(back.root().datasets().empty());
+}
+
+/// save() is atomic: bytes land on a side file first, then rename onto
+/// the real path.  A stale torn side file (a crashed earlier writer) is
+/// simply overwritten, and the real path never holds a half-written
+/// checkpoint.
+TEST(H5Lite, SaveIsAtomicAndSurvivesAStaleTornSideFile) {
+  const std::string path = ::testing::TempDir() + "/h5_atomic.h5l";
+  {
+    // A previous writer died mid-save, leaving garbage on the side file.
+    std::ofstream torn(path + ".tmp", std::ios::binary);
+    torn << "H5L!garbage";
+  }
+  H5File f;
+  f.root().set_attr("step", std::int64_t{4});
+  f.save(path);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // renamed away
+  EXPECT_EQ(H5File::load(path).root().attr_i64("step"), 4);
+
+  // Overwrite through the same path is also atomic.
+  f.root().set_attr("step", std::int64_t{8});
+  f.save(path);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  EXPECT_EQ(H5File::load(path).root().attr_i64("step"), 8);
+  std::remove(path.c_str());
 }
 
 TEST(H5Lite, DatasetOverwriteReplaces) {

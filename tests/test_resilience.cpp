@@ -1,0 +1,325 @@
+/// \file test_resilience.cpp
+/// \brief The fault-injection and recovery suite.
+///
+/// Pins the chaos layer's contract: fault schedules are a pure function
+/// of (seed, spec, job name); injected faults fire exactly once; guards
+/// convert silent NaN contamination into structured errors naming the
+/// step and field; the solver fallback chain recovers breakdowns without
+/// perturbing pricing (bit-identity when the fallback re-runs the primary
+/// kind); and an injected checkpoint I/O failure can tear only the
+/// atomic writer's side file, never a finalized checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/v2d.hpp"
+#include "io/h5lite.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/guards.hpp"
+#include "sim_capture.hpp"
+#include "support/error.hpp"
+
+namespace v2d {
+namespace {
+
+using resilience::FaultEvent;
+using resilience::FaultInjector;
+using resilience::FaultKind;
+using resilience::FaultPlan;
+using testutil::SimCapture;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+core::RunConfig small_config() {
+  core::RunConfig cfg;
+  cfg.problem = "gaussian-pulse";
+  cfg.nx1 = 32;
+  cfg.nx2 = 16;
+  cfg.steps = 3;
+  cfg.dt = 0.05;
+  cfg.host_threads = 1;
+  return cfg;
+}
+
+// --- fault plan --------------------------------------------------------------
+
+TEST(FaultPlan, ParsesClausesAndRejectsGarbage) {
+  const FaultPlan plan(42, "throw@5, breakdown:2; nan, io@1");
+  const auto events = plan.schedule("job", 0, 10);
+  int pinned_throw = 0, breakdowns = 0, nans = 0, pinned_io = 0;
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultKind::StepException:
+        EXPECT_EQ(ev.step, 5);
+        ++pinned_throw;
+        break;
+      case FaultKind::SolverBreakdown:
+        EXPECT_GE(ev.site, 0);
+        EXPECT_LT(ev.site, 3);
+        ++breakdowns;
+        break;
+      case FaultKind::NanContaminate:
+        ++nans;
+        break;
+      case FaultKind::CheckpointIo:
+        EXPECT_EQ(ev.step, 1);
+        ++pinned_io;
+        break;
+    }
+    EXPECT_GE(ev.step, 1);
+    EXPECT_LE(ev.step, 10);
+  }
+  EXPECT_EQ(pinned_throw, 1);
+  EXPECT_EQ(breakdowns, 2);
+  EXPECT_EQ(nans, 1);
+  EXPECT_EQ(pinned_io, 1);
+
+  EXPECT_THROW(FaultPlan(1, "explode"), Error);
+  EXPECT_THROW(FaultPlan(1, "throw@zero"), Error);
+  EXPECT_THROW(FaultPlan(1, "nan:-2"), Error);
+  EXPECT_THROW(FaultPlan(1, ", ,"), Error);
+}
+
+TEST(FaultPlan, ScheduleIsDeterministicPerSeedAndJob) {
+  const FaultPlan plan(1234, "throw:3, breakdown:2");
+  const auto a = plan.schedule("pulse", 0, 50);
+  const auto b = FaultPlan(1234, "throw:3, breakdown:2").schedule("pulse", 0,
+                                                                  50);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+    EXPECT_EQ(a[i].step, b[i].step);
+    EXPECT_EQ(a[i].site, b[i].site);
+  }
+
+  auto steps_of = [](const std::vector<FaultEvent>& evs) {
+    std::vector<int> out;
+    for (const auto& ev : evs) out.push_back(ev.step);
+    return out;
+  };
+  // Different job name or seed => a different (but still deterministic)
+  // schedule; independent of everything else in the batch.
+  EXPECT_NE(steps_of(a), steps_of(plan.schedule("hotspot", 0, 50)));
+  EXPECT_NE(steps_of(a),
+            steps_of(FaultPlan(99, "throw:3, breakdown:2")
+                         .schedule("pulse", 0, 50)));
+}
+
+TEST(FaultPlan, InactiveAndOutOfRangeSchedulesAreEmpty) {
+  EXPECT_FALSE(FaultPlan().active());
+  EXPECT_TRUE(FaultPlan().schedule("job", 0, 100).empty());
+  // Pinned beyond the job's step range: the job never reaches the fault.
+  const FaultPlan plan(7, "throw@50");
+  EXPECT_TRUE(plan.schedule("short-job", 0, 10).empty());
+  // Restart base: faults at already-taken steps are dropped.
+  EXPECT_TRUE(FaultPlan(7, "throw@3").schedule("job", 5, 10).empty());
+}
+
+TEST(FaultInjector, EventsFireExactlyOnce) {
+  FaultInjector inj({{FaultKind::StepException, 4, 0, false},
+                     {FaultKind::SolverBreakdown, 2, 1, false}});
+  EXPECT_EQ(inj.pending(), 2u);
+  EXPECT_FALSE(inj.take(FaultKind::StepException, 3));
+  EXPECT_FALSE(inj.take(FaultKind::NanContaminate, 4));
+  EXPECT_TRUE(inj.take(FaultKind::StepException, 4));
+  EXPECT_FALSE(inj.take(FaultKind::StepException, 4));  // transient: fired
+  EXPECT_FALSE(inj.take_breakdown(2, 0));  // wrong site
+  EXPECT_TRUE(inj.take_breakdown(2, 1));
+  EXPECT_FALSE(inj.take_breakdown(2, 1));
+  EXPECT_EQ(inj.pending(), 0u);
+}
+
+// --- guards ------------------------------------------------------------------
+
+TEST(Guards, ScalarAndDriftChecks) {
+  EXPECT_NO_THROW(resilience::check_scalar_finite(1.0, "e", 1));
+  EXPECT_THROW(resilience::check_scalar_finite(
+                   std::numeric_limits<double>::quiet_NaN(), "e", 1),
+               resilience::GuardError);
+  EXPECT_NO_THROW(resilience::check_drift(1.001, 1.0, 0.01, "e", 2));
+  try {
+    resilience::check_drift(1.5, 1.0, 0.01, "total_energy", 7);
+    FAIL() << "expected GuardError";
+  } catch (const resilience::GuardError& e) {
+    EXPECT_EQ(e.step(), 7);
+    EXPECT_EQ(e.field(), "total_energy");
+    EXPECT_NE(std::string(e.what()).find("drift"), std::string::npos);
+  }
+}
+
+TEST(Guards, InjectedNanBecomesAStructuredError) {
+  core::RunConfig cfg = small_config();
+  cfg.guard = true;
+  const FaultPlan plan(7, "nan@2");
+  FaultInjector inj(plan.schedule(cfg.problem, 0, cfg.steps));
+  core::Simulation sim(cfg);
+  sim.set_fault_injector(&inj);
+  try {
+    sim.run();
+    FAIL() << "expected GuardError";
+  } catch (const resilience::GuardError& e) {
+    EXPECT_EQ(e.step(), 2);
+    EXPECT_EQ(e.field(), "radiation_energy");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numeric guard"), std::string::npos);
+    EXPECT_NE(what.find("step 2"), std::string::npos);
+    EXPECT_NE(what.find("zone (0, 0)"), std::string::npos);
+  }
+  EXPECT_EQ(inj.pending(), 0u);
+  ASSERT_FALSE(sim.recovery().empty());
+  EXPECT_EQ(sim.recovery().events.front().action, "injected-nan");
+}
+
+TEST(Guards, CleanRunPassesWithGuardsOn) {
+  core::RunConfig cfg = small_config();
+  cfg.guard = true;
+  cfg.guard_drift = 0.5;  // generous: the pulse conserves well
+  core::Simulation sim(cfg);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.steps_taken(), cfg.steps);
+}
+
+// --- solver fallback chain ---------------------------------------------------
+
+/// The headline pricing invariant at the solver level: an injected
+/// breakdown recovered by re-attempting the *same* preconditioner prices
+/// exactly what the fault-free solve would have — the synthetic failure
+/// commits no work, so the retry is the solve.
+TEST(SolverFallback, SameKindFallbackIsBitIdenticalToFaultFree) {
+  const core::RunConfig base = small_config();
+
+  core::Simulation clean(base);
+  clean.run();
+  const SimCapture ref = testutil::capture(clean);
+
+  core::RunConfig cfg = base;
+  cfg.solver_fallbacks = {cfg.preconditioner};  // spai0 -> spai0
+  const FaultPlan plan(21, "breakdown@2");
+  FaultInjector inj(plan.schedule(cfg.problem, 0, cfg.steps));
+  ASSERT_EQ(inj.events().size(), 1u);
+  core::Simulation sim(cfg);
+  sim.set_fault_injector(&inj);
+  sim.run();
+
+  testutil::expect_captures_identical(ref, testutil::capture(sim),
+                                      "breakdown+same-kind-fallback");
+  EXPECT_EQ(inj.pending(), 0u);
+  ASSERT_GE(sim.recovery().events.size(), 2u);
+  EXPECT_EQ(sim.recovery().events[0].action, "injected-breakdown");
+  EXPECT_EQ(sim.recovery().events[1].action, "solver-fallback");
+}
+
+TEST(SolverFallback, DifferentKindRecoversAndIsRecorded) {
+  core::RunConfig cfg = small_config();
+  cfg.solver_fallbacks = {"jacobi"};
+  const FaultPlan plan(21, "breakdown@2");
+  FaultInjector inj(plan.schedule(cfg.problem, 0, cfg.steps));
+  core::Simulation sim(cfg);
+  sim.set_fault_injector(&inj);
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.steps_taken(), cfg.steps);
+  bool recovered = false;
+  for (const auto& ev : sim.recovery().events)
+    if (ev.action == "solver-fallback" &&
+        ev.detail.find("'jacobi'") != std::string::npos)
+      recovered = true;
+  EXPECT_TRUE(recovered);
+}
+
+TEST(SolverFallback, BreakdownWithoutFallbackFailsTheStep) {
+  core::RunConfig cfg = small_config();
+  const FaultPlan plan(21, "breakdown@2");
+  FaultInjector inj(plan.schedule(cfg.problem, 0, cfg.steps));
+  core::Simulation sim(cfg);
+  sim.set_fault_injector(&inj);
+  try {
+    sim.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed to converge at step 2"), std::string::npos);
+    EXPECT_NE(what.find("injected breakdown"), std::string::npos);
+  }
+}
+
+// --- atomic checkpoints + injected I/O faults --------------------------------
+
+TEST(CheckpointIo, AtomicSaveLeavesNoSideFile) {
+  const std::string path = temp_path("atomic.h5l");
+  io::H5File file;
+  file.root().set_attr("k", std::int64_t{1});
+  file.save(path);
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // Overwrite through the same path: still atomic, still no residue.
+  file.root().set_attr("k", std::int64_t{2});
+  file.save(path);
+  EXPECT_EQ(io::H5File::load(path).root().attr_i64("k"), 2);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+/// An injected crash mid-checkpoint tears only the side file; the real
+/// path keeps the previous finalized checkpoint, so a retry restarts from
+/// it instead of from scratch (or from poison).
+TEST(CheckpointIo, InjectedWriteFailureCannotPoisonTheCheckpoint) {
+  const std::string path = temp_path("torn.h5l");
+  core::RunConfig cfg = small_config();
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_every = 1;
+  const FaultPlan plan(5, "io@2");
+  FaultInjector inj(plan.schedule(cfg.problem, 0, cfg.steps));
+  core::Simulation sim(cfg);
+  sim.set_fault_injector(&inj);
+  try {
+    sim.run();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected checkpoint I/O failure"),
+              std::string::npos);
+  }
+
+  // The step-1 checkpoint survives intact on the real path...
+  const io::H5File good = io::H5File::load(path);
+  EXPECT_EQ(good.root().attr_i64("step"), 1);
+  // ...while the torn bytes sit in the side file, unreadable.
+  EXPECT_TRUE(std::ifstream(path + ".tmp").good());
+  EXPECT_THROW(io::H5File::load(path + ".tmp"), Error);
+
+  // A later successful save replaces both atomically.
+  core::Simulation again(cfg);
+  again.restart(path);
+  again.run();
+  EXPECT_EQ(io::H5File::load(path).root().attr_i64("step"), cfg.steps);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIo, TruncatedFileOnTheRealPathIsRejectedLoudly) {
+  const std::string path = temp_path("truncated.h5l");
+  io::H5File file;
+  file.root().set_attr("step", std::int64_t{3});
+  file.save(path);
+  // Simulate a pre-atomic torn write landing on the real path.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(io::H5File::load(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace v2d

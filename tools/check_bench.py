@@ -25,6 +25,8 @@ Usage:
   tools/check_bench.py rank_parallel BENCH_rank_parallel.json \
       bench/baselines/BENCH_rank_parallel.json
   tools/check_bench.py farm BENCH_farm.json bench/baselines/BENCH_farm.json
+  tools/check_bench.py resilience BENCH_resilience.json \
+      bench/baselines/BENCH_resilience.json
 
 Conditional floors (rank_parallel, farm) carry an explicit per-row
 "speedup_gate" marker — "enforced", "skipped" (host lacks the cores) or
@@ -53,17 +55,20 @@ RANK_PARALLEL_GATE_RANKS = 16
 FARM_GATE_JOBS = 8
 FARM_GATE_SPEEDUP = 1.3
 FARM_GATE_CORES = 2
+# Resilience floors (mirror bench_resilience's in-binary gates).
+GUARD_GATE_PCT = 5.0
+GUARD_GATE_MIN_SECONDS = 0.05
 
 
-def check_gate_marker(row, tag, expected, errors):
-    """The marker in the JSON must match what the row's own host_cores
-    says it should be — a mismatch means the bench binary and this
-    checker disagree about when the floor applies."""
-    got = row.get("speedup_gate", "<missing>")
+def check_gate_marker(row, tag, expected, errors, field="speedup_gate"):
+    """The marker in the JSON must match what the row's own data says it
+    should be — a mismatch means the bench binary and this checker
+    disagree about when the floor applies."""
+    got = row.get(field, "<missing>")
     if got != expected:
         errors.append(
-            f"{tag}: speedup_gate is '{got}' but this row's host_cores "
-            f"say it should be '{expected}'")
+            f"{tag}: {field} is '{got}' but this row's own data says it "
+            f"should be '{expected}'")
     return got == expected
 
 
@@ -237,11 +242,67 @@ def check_farm(current, baseline, tol):
     return errors
 
 
+def check_resilience(current, baseline, tol):
+    del tol  # no host-speedup ratio to relax; floors + exact fields only
+    errors = []
+    cur = index(current, ("kind",))
+    base = index(baseline, ("kind",))
+    missing = set(base) - set(cur)
+    if missing:
+        errors.append(f"rows missing from current run: {sorted(missing)}")
+
+    guard = cur.get(("guard",))
+    if guard is not None:
+        tag = f"resilience guard {guard['nx1']}x{guard['nx2']}"
+        # Guards are host-only and unpriced: a guarded run must be
+        # bit-identical to an unguarded one.
+        if not guard["identical"]:
+            errors.append(f"{tag}: --guard on perturbed fields or clocks")
+        # The 5% floor is judged only when the unguarded run is long
+        # enough to time; the marker must agree with the row's own
+        # plain_seconds, so a runner can't skip a floor it could judge.
+        expected = ("enforced"
+                    if guard["plain_seconds"] >= GUARD_GATE_MIN_SECONDS
+                    else "skipped")
+        check_gate_marker(guard, tag, expected, errors,
+                          field="overhead_gate")
+        if expected == "enforced" and guard["overhead_pct"] > GUARD_GATE_PCT:
+            errors.append(
+                f"{tag}: guard overhead {guard['overhead_pct']:.2f}% "
+                f"> floor {GUARD_GATE_PCT}%")
+
+    retry = cur.get(("retry",))
+    if retry is not None:
+        tag = "resilience retry"
+        if not retry["recovered_identical"]:
+            errors.append(
+                f"{tag}: retried job diverged from its fault-free run")
+        # Driven steps are deterministic (pure scheduler arithmetic): the
+        # checkpoint resume must beat restart-from-scratch, and both
+        # counts must match the committed baseline exactly.
+        if retry["driven_ckpt"] >= retry["driven_scratch"]:
+            errors.append(
+                f"{tag}: checkpoint resume drove {retry['driven_ckpt']} "
+                f"steps, not fewer than from-scratch's "
+                f"{retry['driven_scratch']}")
+        ref = base.get(("retry",))
+        if ref is not None:
+            for field in ("driven_ckpt", "driven_scratch", "steps",
+                          "fault_step", "checkpoint_every"):
+                if retry[field] != ref[field]:
+                    errors.append(
+                        f"{tag}: deterministic field '{field}' drifted "
+                        f"({ref[field]} -> {retry[field]}); regenerate "
+                        f"the baseline deliberately")
+    return errors
+
+
 CHECKS = {
     "fusion": check_fusion,
     "kernels": check_kernels,
     "rank_parallel": check_rank_parallel,
     "farm": check_farm,
+    "resilience": check_resilience,
 }
 
 
