@@ -3,12 +3,14 @@
 /// priced bytes for the --fuse composites.
 ///
 /// Runs the same Jacobi/SPAI(0)-preconditioned CG solve on the FLD
-/// diffusion system twice per configuration — FuseMode::Off (the Table II
-/// kernel-per-pass reference) and FuseMode::On (MATVEC+DPROD, DAXPY₂,
-/// precond+ganged-dot, fused residual) — across grid sizes and the full
-/// architectural VL range.  Fusion must not change the trajectory (the
-/// solves are verified bit-identical here, not just in the tests), so
-/// every delta in the three reported currencies is pure pass-elimination:
+/// diffusion system three times per configuration — FuseMode::Off (the
+/// Table II kernel-per-pass reference), FuseMode::On (the hand-written
+/// MATVEC+DPROD, DAXPY₂, precond+ganged-dot, fused-residual composites)
+/// and FuseMode::Plan (the same composites emitted by the fusion planner,
+/// src/linalg/fusion/) — across grid sizes and the full architectural VL
+/// range.  Fusion must not change the trajectory (the solves are verified
+/// bit-identical here, not just in the tests), so every delta in the
+/// three reported currencies is pure pass-elimination:
 ///
 ///   host seconds      — what the build machine pays to run the numerics
 ///   simulated seconds — what the modelled A64FX pays (CostModel cycles)
@@ -16,8 +18,10 @@
 ///
 /// Emits BENCH_fusion.json for tools/check_bench.py; the in-binary gate
 /// fails the run if, on memory-bound sizes (>= --gate-size), the host
-/// speedup drops under --gate-speedup or fusion stops reducing the
-/// simulated memory cycles and bytes.
+/// speedup drops under --gate-speedup, fusion stops reducing the
+/// simulated memory cycles and bytes, the planner legs fall more than 5%
+/// of host speedup behind the hand-written ones, or the planner's
+/// simulated clock exceeds the hand-written clock anywhere.
 ///
 ///   ./bench_fusion [--sizes 64,128,256] [--vls 128,512,2048]
 ///                  [--precond spai0] [--tol 1e-7] [--max-iter 600]
@@ -29,6 +33,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -69,46 +74,80 @@ struct Leg {
   std::vector<double> solution;
 };
 
-Leg run_leg(int n, unsigned vl_bits, const std::string& precond,
-            linalg::FuseMode fuse, double tol, int max_iter) {
-  const grid::Grid2D g(n, n, -1.0, 1.0, -1.0, 1.0);
-  const grid::Decomposition dec(g, mpisim::CartTopology(1, 1));
+/// Sampling plan per leg: kRounds rounds of kSamplesPerRound consecutive
+/// timed solves (plus one warm-up before the first).  The best sample is
+/// kept — the solves are bit-identical repeats, so min is the right
+/// statistic against background noise.  Rounds rotate across the three
+/// fuse modes so a background-load burst hits every mode equally, while
+/// the consecutive samples inside a round keep each leg's working set
+/// cache-hot — timing a leg cold adds the same constant to every mode and
+/// artificially compresses the speedup ratios.
+constexpr int kRounds = 2;
+constexpr int kSamplesPerRound = 4;
 
-  rad::OpacitySet opac(1);
-  opac.absorption(0) = rad::OpacityLaw::constant(0.0);
-  opac.scattering(0) = rad::OpacityLaw::constant(10.0);
+/// All live state for one fuse-mode leg of an ablation cell.  Sessions are
+/// kept alive across the whole cell so the off/on/plan samples can be
+/// interleaved — a background-load burst then hits every mode equally
+/// instead of poisoning whichever leg it landed on.
+struct LegSession {
+  grid::Grid2D g;
+  grid::Decomposition dec;
+  rad::OpacitySet opac;
   rad::FldConfig fld_cfg;
-  fld_cfg.include_absorption = false;
-  const rad::FldBuilder builder(g, dec, 1, opac, fld_cfg);
-
-  mpisim::ExecModel em(sim::MachineSpec::a64fx(), {compiler::cray_2103()}, 1);
-  linalg::ExecContext ctx(vla::VectorArch(vl_bits), &em,
-                          vla::VlaExecMode::Native, fuse);
-
-  linalg::DistVector e(g, dec, 1), e_old(g, dec, 1);
-  rad::GaussianPulse pulse;
-  pulse.d_coeff = 1.0 / 30.0;
-  pulse.t0 = 1.0;
-  pulse.fill(e, 0.0);
-  e_old.copy_from(ctx, e);
-
-  linalg::StencilOperator A(g, dec, 1);
-  linalg::DistVector rhs(g, dec, 1), x(g, dec, 1);
-  builder.build_diffusion(ctx, e, e_old, 0.03, A, rhs);
-  auto M = linalg::make_preconditioner(precond, ctx, A);
-
-  linalg::SolverWorkspace ws(g, dec, 1);
-  linalg::CgSolver cg(ws);
+  rad::FldBuilder builder;
+  mpisim::ExecModel em;
+  linalg::ExecContext ctx;
+  linalg::DistVector e, e_old, rhs, x;
+  linalg::StencilOperator A;
+  std::unique_ptr<linalg::Preconditioner> M;
+  linalg::SolverWorkspace ws;
+  linalg::CgSolver cg;
   linalg::SolveOptions sopt;
-  sopt.rel_tol = tol;
-  sopt.max_iterations = max_iter;
-
   Leg leg;
-  using clock = std::chrono::steady_clock;
-  // Sample 0 warms caches/allocations; of the timed samples the best is
-  // kept (the solves are bit-identical repeats, so min is the right
-  // statistic against background noise).
-  for (int sample = 0; sample < 3; ++sample) {
+
+  static rad::OpacitySet make_opac() {
+    rad::OpacitySet o(1);
+    o.absorption(0) = rad::OpacityLaw::constant(0.0);
+    o.scattering(0) = rad::OpacityLaw::constant(10.0);
+    return o;
+  }
+  static rad::FldConfig make_fld_cfg() {
+    rad::FldConfig c;
+    c.include_absorption = false;
+    return c;
+  }
+
+  LegSession(int n, unsigned vl_bits, const std::string& precond,
+             linalg::FuseMode fuse, double tol, int max_iter)
+      : g(n, n, -1.0, 1.0, -1.0, 1.0),
+        dec(g, mpisim::CartTopology(1, 1)),
+        opac(make_opac()),
+        fld_cfg(make_fld_cfg()),
+        builder(g, dec, 1, opac, fld_cfg),
+        em(sim::MachineSpec::a64fx(), {compiler::cray_2103()}, 1),
+        ctx(vla::VectorArch(vl_bits), &em, vla::VlaExecMode::Native, fuse),
+        e(g, dec, 1),
+        e_old(g, dec, 1),
+        rhs(g, dec, 1),
+        x(g, dec, 1),
+        A(g, dec, 1),
+        ws(g, dec, 1),
+        cg(ws) {
+    rad::GaussianPulse pulse;
+    pulse.d_coeff = 1.0 / 30.0;
+    pulse.t0 = 1.0;
+    pulse.fill(e, 0.0);
+    e_old.copy_from(ctx, e);
+    builder.build_diffusion(ctx, e, e_old, 0.03, A, rhs);
+    M = linalg::make_preconditioner(precond, ctx, A);
+    sopt.rel_tol = tol;
+    sopt.max_iterations = max_iter;
+  }
+
+  /// Run one timed solve; `warm` samples prime caches/allocations and are
+  /// discarded.
+  void sample(bool warm) {
+    using clock = std::chrono::steady_clock;
     em.reset();
     x.fill(ctx, 0.0);
     const auto memo0 = perfmon::MemoCacheStats::of(ctx.vctx);
@@ -116,30 +155,38 @@ Leg run_leg(int n, unsigned vl_bits, const std::string& precond,
     const auto stats = cg.solve(ctx, A, *M, x, rhs, sopt);
     const double s = std::chrono::duration<double>(clock::now() - t0).count();
     leg.iterations = stats.iterations;
-    if (sample == 0) continue;
+    if (warm) return;
     if (leg.host_s == 0.0 || s < leg.host_s) leg.host_s = s;
     const auto memo = perfmon::MemoCacheStats::of(ctx.vctx).since(memo0);
     leg.memo_hits = memo.hits;
     leg.memo_misses = memo.misses;
   }
-  leg.sim_s = em.elapsed(0);
-  const auto led = em.merged_ledger(0);
-  for (const auto& [region, cost] : led.regions()) leg.mem_cycles +=
-      cost.memory_cycles;
-  leg.bytes = led.total_bytes();
-  leg.solution = x.field().gather_global();
-  return leg;
-}
+
+  /// Harvest the deterministic quantities from the last sample's ledger.
+  Leg finish() {
+    leg.sim_s = em.elapsed(0);
+    const auto led = em.merged_ledger(0);
+    for (const auto& [region, cost] : led.regions())
+      leg.mem_cycles += cost.memory_cycles;
+    leg.bytes = led.total_bytes();
+    leg.solution = x.field().gather_global();
+    return std::move(leg);
+  }
+};
 
 struct Row {
   int n = 0;
   unsigned vl_bits = 0;
   std::string precond;
-  Leg off, on;
-  bool identical = false;
+  Leg off, on, plan;
+  bool identical = false;       // on solution == off solution
+  bool plan_identical = false;  // plan solution == off solution
+  bool plan_gated = false;      // host floor applied (n >= gate size)
 
   double host_speedup() const { return off.host_s / on.host_s; }
   double sim_speedup() const { return off.sim_s / on.sim_s; }
+  double plan_host_speedup() const { return off.host_s / plan.host_s; }
+  double plan_sim_speedup() const { return off.sim_s / plan.sim_s; }
 };
 
 void write_json(const std::string& path, const std::vector<Row>& rows) {
@@ -147,24 +194,33 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
   os << "[\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof buf,
         "  {\"solver\": \"cg\", \"precond\": \"%s\", \"n\": %d, "
         "\"vl_bits\": %u, \"iters\": %d, "
         "\"host_unfused_s\": %.6f, \"host_fused_s\": %.6f, "
-        "\"host_speedup\": %.3f, "
+        "\"host_plan_s\": %.6f, "
+        "\"host_speedup\": %.3f, \"plan_host_speedup\": %.3f, "
         "\"sim_unfused_s\": %.6f, \"sim_fused_s\": %.6f, "
-        "\"sim_speedup\": %.3f, "
+        "\"sim_plan_s\": %.6f, \"sim_speedup\": %.3f, "
         "\"mem_cycles_unfused\": %.0f, \"mem_cycles_fused\": %.0f, "
+        "\"mem_cycles_plan\": %.0f, "
         "\"bytes_unfused\": %llu, \"bytes_fused\": %llu, "
-        "\"identical\": %s, \"memo_hits\": %llu, \"memo_misses\": %llu}%s\n",
+        "\"bytes_plan\": %llu, "
+        "\"identical\": %s, \"plan_identical\": %s, "
+        "\"plan_gate\": \"%s\", "
+        "\"memo_hits\": %llu, \"memo_misses\": %llu}%s\n",
         r.precond.c_str(), r.n, r.vl_bits, r.on.iterations, r.off.host_s,
-        r.on.host_s, r.host_speedup(), r.off.sim_s, r.on.sim_s,
-        r.sim_speedup(), r.off.mem_cycles, r.on.mem_cycles,
+        r.on.host_s, r.plan.host_s, r.host_speedup(), r.plan_host_speedup(),
+        r.off.sim_s, r.on.sim_s, r.plan.sim_s, r.sim_speedup(),
+        r.off.mem_cycles, r.on.mem_cycles, r.plan.mem_cycles,
         static_cast<unsigned long long>(r.off.bytes),
         static_cast<unsigned long long>(r.on.bytes),
+        static_cast<unsigned long long>(r.plan.bytes),
         r.identical ? "true" : "false",
+        r.plan_identical ? "true" : "false",
+        r.plan_gated ? "enforced" : "n/a",
         static_cast<unsigned long long>(r.on.memo_hits),
         static_cast<unsigned long long>(r.on.memo_misses),
         i + 1 < rows.size() ? "," : "");
@@ -204,12 +260,27 @@ int main(int argc, char** argv) {
       row.n = n;
       row.vl_bits = static_cast<unsigned>(vl);
       row.precond = precond;
-      row.off = run_leg(n, row.vl_bits, precond, linalg::FuseMode::Off, tol,
-                        max_iter);
-      row.on = run_leg(n, row.vl_bits, precond, linalg::FuseMode::On, tol,
-                       max_iter);
+      LegSession off(n, row.vl_bits, precond, linalg::FuseMode::Off, tol,
+                     max_iter);
+      LegSession on(n, row.vl_bits, precond, linalg::FuseMode::On, tol,
+                    max_iter);
+      LegSession plan(n, row.vl_bits, precond, linalg::FuseMode::Plan, tol,
+                      max_iter);
+      for (int round = 0; round < kRounds; ++round) {
+        for (LegSession* leg : {&off, &on, &plan}) {
+          if (round == 0) leg->sample(/*warm=*/true);
+          for (int k = 0; k < kSamplesPerRound; ++k)
+            leg->sample(/*warm=*/false);
+        }
+      }
+      row.off = off.finish();
+      row.on = on.finish();
+      row.plan = plan.finish();
       row.identical = row.off.iterations == row.on.iterations &&
                       row.off.solution == row.on.solution;
+      row.plan_identical = row.off.iterations == row.plan.iterations &&
+                           row.off.solution == row.plan.solution;
+      row.plan_gated = n >= gate_size;
       rows.push_back(std::move(row));
       std::cerr << "  finished " << n << "x" << n << " vl=" << vl << "\n";
     }
@@ -217,10 +288,12 @@ int main(int argc, char** argv) {
 
   TableWriter table(
       "Fused-kernel ablation: CG/" + precond +
-      " solve, --fuse off vs on (host + simulated A64FX, Cray profile)");
+      " solve, --fuse off vs on vs plan (host + simulated A64FX, Cray "
+      "profile)");
   table.set_columns({"grid", "VL", "iters", "host off (s)", "host on (s)",
-                     "host x", "sim off (s)", "sim on (s)", "sim x",
-                     "bytes off", "bytes on", "pinned"});
+                     "host plan (s)", "on x", "plan x", "sim off (s)",
+                     "sim on (s)", "sim plan (s)", "bytes off", "bytes on",
+                     "pinned"});
   bool ok = true;
   std::string failures;
   for (const Row& r : rows) {
@@ -229,15 +302,17 @@ int main(int argc, char** argv) {
                    TableWriter::integer(r.on.iterations),
                    TableWriter::num(r.off.host_s, 4),
                    TableWriter::num(r.on.host_s, 4),
+                   TableWriter::num(r.plan.host_s, 4),
                    TableWriter::num(r.host_speedup(), 2),
+                   TableWriter::num(r.plan_host_speedup(), 2),
                    TableWriter::num(r.off.sim_s, 4),
                    TableWriter::num(r.on.sim_s, 4),
-                   TableWriter::num(r.sim_speedup(), 2),
+                   TableWriter::num(r.plan.sim_s, 4),
                    TableWriter::num(static_cast<double>(r.off.bytes) / 1e9, 3) +
                        " GB",
                    TableWriter::num(static_cast<double>(r.on.bytes) / 1e9, 3) +
                        " GB",
-                   r.identical ? "yes" : "NO"});
+                   r.identical && r.plan_identical ? "yes" : "NO"});
     const std::string cell =
         std::to_string(r.n) + "x" + std::to_string(r.n) + "@" +
         std::to_string(r.vl_bits);
@@ -245,11 +320,34 @@ int main(int argc, char** argv) {
       ok = false;
       failures += "  " + cell + ": fused trajectory diverged\n";
     }
+    if (!r.plan_identical) {
+      ok = false;
+      failures += "  " + cell + ": planned trajectory diverged\n";
+    }
+    // The planner's simulated clock may never exceed the hand-written
+    // composites': it is supposed to emit the same fused groups, and the
+    // clock is deterministic, so this holds on every row, not just the
+    // memory-bound ones.
+    if (r.plan.sim_s > r.on.sim_s) {
+      ok = false;
+      failures += "  " + cell + ": planned simulated clock " +
+                  std::to_string(r.plan.sim_s) + " s > hand-written " +
+                  std::to_string(r.on.sim_s) + " s\n";
+    }
     if (r.n >= gate_size) {
       if (r.host_speedup() < gate_speedup) {
         ok = false;
         failures += "  " + cell + ": host speedup " +
                     std::to_string(r.host_speedup()) + " < gate\n";
+      }
+      // Planner dispatch overhead allowance: plan must keep >= 95% of the
+      // hand-written composites' host speedup on memory-bound sizes.
+      if (r.plan_host_speedup() < 0.95 * r.host_speedup()) {
+        ok = false;
+        failures += "  " + cell + ": planned host speedup " +
+                    std::to_string(r.plan_host_speedup()) +
+                    " < 95% of hand-written " +
+                    std::to_string(r.host_speedup()) + "\n";
       }
       if (r.on.mem_cycles >= r.off.mem_cycles) {
         ok = false;

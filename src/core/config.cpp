@@ -57,8 +57,12 @@ void RunConfig::register_options(Options& opt) {
   opt.add("vla-exec", "native",
           "VLA execution backend: native (fast path) | interpret (reference)");
   opt.add("fuse", "off",
-          "fused-kernel execution: on (one-pass solver composites) | off "
-          "(reference kernel-per-pass sequence)");
+          "fused-kernel execution: off (reference kernel-per-pass sequence) "
+          "| on (hand-written one-pass composites) | plan (planner-generated "
+          "fused groups; see src/linalg/fusion/)");
+  opt.add_flag("dump-fusion-plan",
+               "print the built-in fusion plans and every captured "
+               "solver-iteration kernel DAG after the run (host-only debug)");
   opt.add("checkpoint", "", "h5lite checkpoint path (empty = none)");
   opt.add("checkpoint-every", "0", "steps between checkpoints (0 = end only)");
   opt.add("restart", "", "resume from this h5lite checkpoint (empty = fresh)");
@@ -126,6 +130,7 @@ RunConfig RunConfig::from_options(const Options& opt) {
   (void)vla::vla_exec_mode_from_name(c.vla_exec);  // validate early
   c.fuse = opt.get("fuse");
   (void)linalg::fuse_mode_from_name(c.fuse);  // validate early
+  c.dump_fusion_plan = opt.get_bool("dump-fusion-plan");
   c.checkpoint_path = opt.get("checkpoint");
   c.checkpoint_every = static_cast<int>(opt.get_int("checkpoint-every"));
   c.restart_path = opt.get("restart");

@@ -63,13 +63,21 @@ struct RunConfig {
   /// counts are identical; native is the default because it is the one you
   /// want for anything larger than a unit test.
   std::string vla_exec = "native";
-  /// Fused-kernel execution: "on" routes solver hot loops through one-pass
+  /// Fused-kernel execution: "off" (default) keeps the kernel-per-pass
+  /// Table II sequence bit-identically — results, counts, ledgers and
+  /// clocks.  "on" routes solver hot loops through hand-written one-pass
   /// composites (MATVEC+DPROD, DAXPY₂, precond+ganged-dot, fused
-  /// residual); "off" (default) keeps the kernel-per-pass Table II
-  /// sequence bit-identically — results, counts, ledgers and clocks.
-  /// "on" keeps the numerics pinned but moves fewer bytes, so both host
-  /// time and simulated cycles drop.
+  /// residual).  "plan" routes them through planner-generated fused
+  /// groups instead (src/linalg/fusion/) and records each solver
+  /// configuration's first-iteration kernel DAG; "on" is kept as the
+  /// differential oracle for "plan".  All three modes produce identical
+  /// numerics; on/plan move fewer bytes, so host time and simulated
+  /// cycles drop.
   std::string fuse = "off";
+  /// Print the built-in fusion plans and every captured kernel DAG after
+  /// the run.  Host-only debug output — prices nothing, so not pinned in
+  /// checkpoints.
+  bool dump_fusion_plan = false;
 
   // --- numeric guards (host-only; see src/resilience/guards.hpp) ---
   /// Validate every step's results: finite scan of the radiation field

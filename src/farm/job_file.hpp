@@ -16,6 +16,11 @@
 /// knob — grid, decomposition, solver, VL, profiles, fuse, checkpoints —
 /// works per job, and an unknown option fails with the offending line
 /// number.
+///
+/// `--fuse off|on|plan` is a per-job knob: jobs with different fuse modes
+/// can share one farm safely, because primitive and fused-group memo
+/// entries live in disjoint key spaces of the shared per-VL count cache
+/// (see vla::Context::memo_counts).
 
 #include <string>
 #include <vector>

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/dag_capture.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
@@ -38,6 +39,10 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
   DistVector& t = ws_->vec(5);
   DistVector& phat = ws_->vec(6);
   DistVector& shat = ws_->vec(7);
+  DagCapture dag(ctx,
+                 dag_key("bicgstab", M.name(),
+                         static_cast<std::uint64_t>(x.global_size()),
+                         ctx.vctx));
   // r0 = b − A·x0, r̂ = r0, p = r0.
   if (ctx.fused()) {
     A.apply_residual(ctx, x, b, r);
@@ -63,6 +68,7 @@ SolveStats BicgstabSolver::solve_classic(ExecContext& ctx,
   ++stats.global_reductions;
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
+    dag.begin_iteration(it);
     stats.iterations = it;
     if (std::fabs(rho) < kBreakdownEps) {
       stats.stop_reason = "rho breakdown";
@@ -164,6 +170,10 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
   DistVector& t = ws_->vec(5);
   DistVector& phat = ws_->vec(6);
   DistVector& shat = ws_->vec(7);
+  DagCapture dag(ctx,
+                 dag_key("bicgstab-ganged", M.name(),
+                         static_cast<std::uint64_t>(x.global_size()),
+                         ctx.vctx));
   if (ctx.fused()) {
     A.apply_residual(ctx, x, b, r);
   } else {
@@ -191,6 +201,7 @@ SolveStats BicgstabSolver::solve_ganged(ExecContext& ctx,
   double rnorm2 = rho;  // r0 = r̂ ⇒ ρ0 = ‖r0‖²
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
+    dag.begin_iteration(it);
     stats.iterations = it;
     if (std::fabs(rho) < kBreakdownEps) {
       stats.stop_reason = "rho breakdown";

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/dag_capture.hpp"
 #include "support/error.hpp"
 
 namespace v2d::linalg {
@@ -18,6 +19,10 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
   DistVector& z = ws_->vec(1);
   DistVector& p = ws_->vec(2);
   DistVector& q = ws_->vec(3);
+  DagCapture dag(ctx,
+                 dag_key("cg", M.name(),
+                         static_cast<std::uint64_t>(x.global_size()),
+                         ctx.vctx));
 
   if (ctx.fused()) {
     A.apply_residual(ctx, x, b, r);
@@ -45,6 +50,7 @@ SolveStats CgSolver::solve(ExecContext& ctx, const LinearOperator& A,
   }
 
   for (int it = 1; it <= opt.max_iterations; ++it) {
+    dag.begin_iteration(it);
     stats.iterations = it;
     double pq;
     if (ctx.fused()) {

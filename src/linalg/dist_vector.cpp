@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/fusion/fused_exec.hpp"
 #include "linalg/kernels.hpp"
 #include "support/dd.hpp"
 #include "support/error.hpp"
@@ -15,6 +16,16 @@ void require_same_shape(const DistVector& a, const DistVector& b) {
   V2D_REQUIRE(a.ns() == b.ns() && a.nranks() == b.nranks() &&
                   a.global_size() == b.global_size(),
               "distributed vectors have different shapes");
+}
+
+/// DAG-capture hook: record one primitive launch of `name` over the whole
+/// vector when the driving context is capturing (see linalg/dag_capture.hpp).
+void dag_op(ExecContext& ctx, const char* name, const DistVector& shape,
+            std::initializer_list<const void*> reads,
+            std::initializer_list<const void*> writes) {
+  if (ctx.dag != nullptr)
+    ctx.dag->op(name, static_cast<std::uint64_t>(shape.global_size()), reads,
+                writes);
 }
 }  // namespace
 
@@ -42,6 +53,7 @@ void DistVector::for_each_row(ExecContext& ctx, KernelFamily family,
 
 void DistVector::daxpy(ExecContext& ctx, double a, const DistVector& x) {
   require_same_shape(*this, x);
+  dag_op(ctx, "daxpy", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::Daxpy, "daxpy", 2,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -54,6 +66,7 @@ void DistVector::daxpy(ExecContext& ctx, double a, const DistVector& x) {
 }
 
 void DistVector::dscal(ExecContext& ctx, double c, double d) {
+  dag_op(ctx, "dscal", *this, {this}, {this});
   for_each_row(ctx, KernelFamily::Dscal, "dscal", 1,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
@@ -66,6 +79,7 @@ void DistVector::ddaxpy(ExecContext& ctx, double a, const DistVector& x,
                         double b, const DistVector& y) {
   require_same_shape(*this, x);
   require_same_shape(*this, y);
+  dag_op(ctx, "ddaxpy", *this, {&x, &y, this}, {this});
   for_each_row(ctx, KernelFamily::Ddaxpy, "ddaxpy", 3,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -82,6 +96,7 @@ void DistVector::ddaxpy(ExecContext& ctx, double a, const DistVector& x,
 
 void DistVector::xpby(ExecContext& ctx, const DistVector& x, double b) {
   require_same_shape(*this, x);
+  dag_op(ctx, "xpby", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "xpby", 2,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -95,6 +110,7 @@ void DistVector::xpby(ExecContext& ctx, const DistVector& x, double b) {
 
 void DistVector::copy_from(ExecContext& ctx, const DistVector& x) {
   require_same_shape(*this, x);
+  dag_op(ctx, "copy", *this, {&x}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "copy", 2,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -107,6 +123,7 @@ void DistVector::copy_from(ExecContext& ctx, const DistVector& x) {
 }
 
 void DistVector::fill(ExecContext& ctx, double a) {
+  dag_op(ctx, "fill", *this, {}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "fill", 1,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
@@ -118,6 +135,7 @@ void DistVector::assign_sub(ExecContext& ctx, const DistVector& x,
                             const DistVector& y) {
   require_same_shape(*this, x);
   require_same_shape(*this, y);
+  dag_op(ctx, "sub", *this, {&x, &y}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "sub", 3,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -138,6 +156,8 @@ void DistVector::daxpy2(ExecContext& ctx, DistVector& x, double a,
   require_same_shape(x, p);
   require_same_shape(x, r);
   require_same_shape(x, q);
+  dag_op(ctx, "daxpy", x, {&p, &x}, {&x});
+  dag_op(ctx, "daxpy", x, {&q, &r}, {&r});
   x.for_each_row(ctx, KernelFamily::Daxpy, "daxpy2", 4,
                  [&](ExecContext& rctx, int rk, int s, int lj, std::size_t n) {
                    grid::TileView pv =
@@ -158,6 +178,8 @@ void DistVector::assign_axpy(ExecContext& ctx, const DistVector& x, double a,
                              const DistVector& z) {
   require_same_shape(*this, x);
   require_same_shape(*this, z);
+  dag_op(ctx, "copy", *this, {&x}, {this});
+  dag_op(ctx, "daxpy", *this, {&z, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "axpy", 3,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -165,10 +187,17 @@ void DistVector::assign_axpy(ExecContext& ctx, const DistVector& x, double a,
                  grid::TileView zv =
                      const_cast<DistVector&>(z).field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
-                 linalg::axpy_out(rctx.vctx,
-                                  std::span<const double>(xv.row(lj), n), a,
-                                  std::span<const double>(zv.row(lj), n),
-                                  std::span<double>(yv.row(lj), n));
+                 if (rctx.planned()) {
+                   fusion::axpy_out(rctx.vctx,
+                                    std::span<const double>(xv.row(lj), n), a,
+                                    std::span<const double>(zv.row(lj), n),
+                                    std::span<double>(yv.row(lj), n));
+                 } else {
+                   linalg::axpy_out(rctx.vctx,
+                                    std::span<const double>(xv.row(lj), n), a,
+                                    std::span<const double>(zv.row(lj), n),
+                                    std::span<double>(yv.row(lj), n));
+                 }
                });
 }
 
@@ -176,6 +205,8 @@ void DistVector::fused_p_update(ExecContext& ctx, const DistVector& x,
                                 double b, double w, const DistVector& v) {
   require_same_shape(*this, x);
   require_same_shape(*this, v);
+  dag_op(ctx, "daxpy", *this, {&v, this}, {this});
+  dag_op(ctx, "xpby", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "p-update", 3,
                [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
                  grid::TileView xv =
@@ -183,10 +214,17 @@ void DistVector::fused_p_update(ExecContext& ctx, const DistVector& x,
                  grid::TileView vv =
                      const_cast<DistVector&>(v).field().view(r, s);
                  grid::TileView pv = field_.view(r, s);
-                 linalg::p_update(rctx.vctx,
-                                  std::span<const double>(xv.row(lj), n), b, w,
-                                  std::span<const double>(vv.row(lj), n),
-                                  std::span<double>(pv.row(lj), n));
+                 if (rctx.planned()) {
+                   fusion::p_update(rctx.vctx,
+                                    std::span<const double>(xv.row(lj), n), b,
+                                    w, std::span<const double>(vv.row(lj), n),
+                                    std::span<double>(pv.row(lj), n));
+                 } else {
+                   linalg::p_update(rctx.vctx,
+                                    std::span<const double>(xv.row(lj), n), b,
+                                    w, std::span<const double>(vv.row(lj), n),
+                                    std::span<double>(pv.row(lj), n));
+                 }
                });
 }
 
@@ -212,6 +250,7 @@ std::vector<double> DistVector::dot_ganged(ExecContext& ctx,
   // is kept — execution and recording fully decoupled.  Ranks accumulate
   // into private partials merged in rank order afterwards, so the result
   // is also independent of the host-thread count.
+  for (const DotPair& pr : pairs) dag_op(ctx, "dot", first, {pr.x, pr.y}, {});
   const bool fast = ctx.vctx.native();
   const int nranks = first.nranks();
   std::vector<std::vector<DdAccumulator>> partial(

@@ -31,25 +31,47 @@ namespace v2d::linalg {
 ///         per-element expressions in the same association order, and
 ///         reductions keep the rank-ordered compensated merge), so the
 ///         Krylov trajectory is unchanged — only the price is.
+///   Plan — same hot-loop routing as On, but the composites come from the
+///          general fusion planner (src/linalg/fusion/): the first solver
+///          iteration of each configuration records the kernel DAG
+///          (vla/kernel_dag.hpp), and execution runs planner-generated
+///          groups in all three representations (interpreter sweep,
+///          signature-keyed native stamps, composed analytic counts).
+///          The hand-written On composites stay as the differential
+///          oracle; Plan is bit-identical to both Off and On.
 enum class FuseMode : std::uint8_t {
   Off,
   On,
+  Plan,
 };
 
 inline const char* fuse_mode_name(FuseMode m) {
-  return m == FuseMode::On ? "on" : "off";
+  switch (m) {
+    case FuseMode::On: return "on";
+    case FuseMode::Plan: return "plan";
+    case FuseMode::Off: break;
+  }
+  return "off";
 }
 
 inline FuseMode fuse_mode_from_name(const std::string& name) {
   if (name == "on") return FuseMode::On;
   if (name == "off") return FuseMode::Off;
-  throw Error("unknown fuse mode '" + name + "' (expected on|off)");
+  if (name == "plan") return FuseMode::Plan;
+  throw Error("unknown fuse mode '" + name + "' (expected off|on|plan)");
 }
 
 struct ExecContext {
   vla::Context vctx;
   mpisim::ExecModel* em = nullptr;
   FuseMode fuse = FuseMode::Off;
+  /// When non-null, call sites record their primitive kernel launches
+  /// here (the fusion planner's iteration-DAG capture, armed by
+  /// linalg::DagCapture for the first solver iteration of a new
+  /// configuration under FuseMode::Plan).  Never set on fork()ed rank
+  /// contexts: recording stays on the driving thread so the captured
+  /// node order is independent of the host-thread count.
+  vla::DagRecorder* dag = nullptr;
 
   ExecContext() = default;
   explicit ExecContext(vla::VectorArch arch, mpisim::ExecModel* model = nullptr,
@@ -60,8 +82,13 @@ struct ExecContext {
               FuseMode fuse_mode = FuseMode::Off)
       : vctx(std::move(v)), em(model), fuse(fuse_mode) {}
 
-  /// True when call sites should take the fused-composite path.
-  bool fused() const { return fuse == FuseMode::On; }
+  /// True when call sites should take a fused-composite path (hand-written
+  /// under On, planner-generated under Plan — same call-site routing).
+  bool fused() const { return fuse != FuseMode::Off; }
+
+  /// True when fused call sites should run the planner-generated groups
+  /// instead of the hand-written oracle composites.
+  bool planned() const { return fuse == FuseMode::Plan; }
 
   /// Rank-local child context for par_ranks: shares the pricer and the
   /// analytic count cache, with a private recording accumulator so
@@ -119,11 +146,13 @@ struct ExecContext {
 
   void allreduce(std::uint64_t bytes,
                  const std::string& region = "mpi_allreduce") {
+    if (dag != nullptr) dag->barrier("allreduce");
     if (em != nullptr) em->allreduce(bytes, region);
   }
 
   void exchange(const std::vector<mpisim::Transfer>& transfers,
                 const std::string& region = "mpi_halo") {
+    if (dag != nullptr) dag->barrier("halo");
     if (em != nullptr) em->exchange(transfers, region);
   }
 };

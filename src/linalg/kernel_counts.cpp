@@ -137,48 +137,6 @@ KernelCounts analytic_counts(KernelShape shape, std::uint64_t n, unsigned vl) {
       f.per_strip(OpClass::FlopFma, 4);
       f.stores(1);
       break;
-    case KernelShape::StencilDotRow:
-    case KernelShape::StencilDotWRow:
-    case KernelShape::CoupledStencilDotRow:
-    case KernelShape::CoupledStencilDotWRow: {
-      // Stencil sweep with the dot folded in: one accumulator dup, one
-      // fma_merge per strip on values already in registers, one horizontal
-      // reduce per row.  The distinct-w flavour pays one extra load; the
-      // coupled flavours add the csp/xo loads and the coupling FMA.
-      const bool coupled = shape == KernelShape::CoupledStencilDotRow ||
-                           shape == KernelShape::CoupledStencilDotWRow;
-      const bool other_w = shape == KernelShape::StencilDotWRow ||
-                           shape == KernelShape::CoupledStencilDotWRow;
-      f.dups(1);
-      f.loop();
-      f.loads(10 + (coupled ? 2 : 0) + (other_w ? 1 : 0));
-      f.per_strip(OpClass::FlopMul, 1);
-      f.per_strip(OpClass::FlopFma, 5 + (coupled ? 1 : 0));
-      f.stores(1);
-      f.reduce_epilogue();
-      break;
-    }
-    case KernelShape::StencilSubRow:
-    case KernelShape::CoupledStencilSubRow: {
-      // Fused residual: the b load and the subtraction ride the stencil
-      // sweep, eliminating the separate A·x write-back/re-read/SUB pass.
-      const bool coupled = shape == KernelShape::CoupledStencilSubRow;
-      f.loop();
-      f.loads(11 + (coupled ? 2 : 0));
-      f.per_strip(OpClass::FlopMul, 1);
-      f.per_strip(OpClass::FlopFma, 4 + (coupled ? 1 : 0));
-      f.per_strip(OpClass::FlopAdd, 1);
-      f.stores(1);
-      break;
-    }
-    case KernelShape::Daxpy2:
-      // Twin update: both DAXPYs share one strip loop.
-      f.dups(2);
-      f.loop();
-      f.loads(4);
-      f.per_strip(OpClass::FlopFma, 2);
-      f.stores(2);
-      break;
     case KernelShape::AxpyOut:
       // z ← x + a·y: the COPY disappears into the DAXPY's third operand.
       f.dups(1);

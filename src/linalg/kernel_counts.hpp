@@ -36,13 +36,11 @@ enum class KernelShape : std::uint8_t {
   RestrictRow,
   ProlongRow,
   // --- fused composites (FuseMode::On call sites) ---
-  StencilDotRow,         ///< stencil + w·y dot, w aliasing the center x
-  StencilDotWRow,        ///< stencil + w·y dot, distinct w vector
-  CoupledStencilDotRow,  ///< stencil + species coupling + self dot
-  CoupledStencilDotWRow, ///< stencil + species coupling + distinct-w dot
-  StencilSubRow,         ///< fused residual row r ← b − A·x
-  CoupledStencilSubRow,  ///< fused residual row with species coupling
-  Daxpy2,                ///< CG twin update x ← x+a·p, r ← r+b·q
+  //
+  // The stencil composites and DAXPY₂ are planner-generated now: their
+  // analytic counts are composed per fused group by fusion::group_counts
+  // and memoized under signature-disjoint keys (bit 63 set), so they no
+  // longer appear here.
   AxpyOut,               ///< z ← x + a·y (fused COPY+DAXPY)
   PUpdate,               ///< p ← r + b·(p − w·v) (fused DAXPY+XPBY)
   HadamardDot2,          ///< z ← m⊙r with the {r·z, r·r} gang folded in

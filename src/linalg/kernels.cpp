@@ -1,5 +1,6 @@
 #include "linalg/kernels.hpp"
 
+#include "linalg/fusion/fused_exec.hpp"
 #include "linalg/kernel_counts.hpp"
 #include "linalg/kernels_native.hpp"
 #include "support/error.hpp"
@@ -188,6 +189,12 @@ void stencil_row(Context& ctx, std::span<const double> cc,
   });
 }
 
+// stencil_row_fused and daxpy2 are planner-generated: the bespoke
+// interpreter/native/counts triples were replaced by the fusion layer's
+// compile-time plans (src/linalg/fusion/), which reproduce the identical
+// recordings and bit-identical numerics.  The entry points stay so call
+// sites (and the equivalence suite) are unchanged.
+
 void stencil_row_fused(Context& ctx, std::span<const double> cc,
                        std::span<const double> cw, std::span<const double> ce,
                        std::span<const double> cs, std::span<const double> cn,
@@ -195,115 +202,14 @@ void stencil_row_fused(Context& ctx, std::span<const double> cc,
                        const double* csp, const double* xo, const double* bsub,
                        const double* wdot, DdAccumulator* dot,
                        std::span<double> y) {
-  const std::size_t n = y.size();
-  V2D_REQUIRE(cc.size() == n && cw.size() == n && ce.size() == n &&
-                  cs.size() == n && cn.size() == n,
-              "stencil_row_fused: coefficient length mismatch");
-  V2D_REQUIRE((csp == nullptr) == (xo == nullptr),
-              "stencil_row_fused: coupling needs both csp and xo");
-  V2D_REQUIRE(bsub == nullptr || wdot == nullptr,
-              "stencil_row_fused: residual and dot forms are exclusive");
-  V2D_REQUIRE((wdot == nullptr) == (dot == nullptr),
-              "stencil_row_fused: dot needs both w and an accumulator");
-  V2D_REQUIRE(bsub != nullptr || wdot != nullptr,
-              "stencil_row_fused: need a residual or dot operand "
-              "(use stencil_row/coupling_row otherwise)");
-  const bool coupled = csp != nullptr;
-  if (ctx.native()) {
-    if (wdot != nullptr) {
-      const bool self = wdot == xc;
-      record_analytic(ctx,
-                      coupled ? (self ? KernelShape::CoupledStencilDotRow
-                                      : KernelShape::CoupledStencilDotWRow)
-                              : (self ? KernelShape::StencilDotRow
-                                      : KernelShape::StencilDotWRow),
-                      n);
-      native::stencil_dot_row(cc.data(), cw.data(), ce.data(), cs.data(),
-                              cn.data(), csp, xc, xs, xn, xo, wdot, y.data(),
-                              n, *dot);
-    } else if (bsub != nullptr) {
-      record_analytic(ctx,
-                      coupled ? KernelShape::CoupledStencilSubRow
-                              : KernelShape::StencilSubRow,
-                      n);
-      if (coupled)
-        native::coupled_stencil_sub_row(cc.data(), cw.data(), ce.data(),
-                                        cs.data(), cn.data(), csp, xc, xs, xn,
-                                        xo, bsub, y.data(), n);
-      else
-        native::stencil_sub_row(cc.data(), cw.data(), ce.data(), cs.data(),
-                                cn.data(), xc, xs, xn, bsub, y.data(), n);
-    }
-    return;
-  }
-
-  VReg dacc{};
-  if (dot != nullptr) dacc = ctx.dup(0.0);
-  vla::strip_mine(ctx, n, [&](std::uint64_t i, const Predicate& p) {
-    const VReg vcc = ctx.ld1(p, &cc[i]);
-    const VReg vxc = ctx.ld1(p, xc + i);
-    VReg acc = ctx.mul(p, vcc, vxc);
-    const VReg vcw = ctx.ld1(p, &cw[i]);
-    const VReg vxw = ctx.ld1(p, xc + i - 1);
-    acc = ctx.fma(p, vcw, vxw, acc);
-    const VReg vce = ctx.ld1(p, &ce[i]);
-    const VReg vxe = ctx.ld1(p, xc + i + 1);
-    acc = ctx.fma(p, vce, vxe, acc);
-    const VReg vcs = ctx.ld1(p, &cs[i]);
-    const VReg vxs = ctx.ld1(p, xs + i);
-    acc = ctx.fma(p, vcs, vxs, acc);
-    const VReg vcn = ctx.ld1(p, &cn[i]);
-    const VReg vxn = ctx.ld1(p, xn + i);
-    acc = ctx.fma(p, vcn, vxn, acc);
-    if (coupled) {
-      const VReg vsp = ctx.ld1(p, csp + i);
-      const VReg vxo = ctx.ld1(p, xo + i);
-      acc = ctx.fma(p, vsp, vxo, acc);
-    }
-    if (bsub != nullptr) {
-      const VReg vb = ctx.ld1(p, bsub + i);
-      ctx.st1(p, &y[i], ctx.sub(p, vb, acc));
-    } else {
-      ctx.st1(p, &y[i], acc);
-    }
-    if (dot != nullptr) {
-      const VReg vw = wdot == xc ? vxc : ctx.ld1(p, wdot + i);
-      dacc = ctx.fma_merge(p, vw, acc, dacc);
-    }
-  });
-  if (dot != nullptr) {
-    // The lane-accumulated value is the hardware's; the returned result is
-    // the compensated sum below, identical in both exec modes (and to the
-    // unfused dot_ganged).
-    const Predicate full = ctx.ptrue();
-    (void)ctx.reduce_add(full, dacc);
-    DdAccumulator a = *dot;
-    for (std::size_t i = 0; i < n; ++i) a.add(wdot[i] * y[i]);
-    *dot = a;
-  }
+  fusion::stencil_row_fused(ctx, cc, cw, ce, cs, cn, xc, xs, xn, csp, xo,
+                            bsub, wdot, dot, y);
 }
 
 void daxpy2(Context& ctx, double a, std::span<const double> p,
             std::span<double> x, double b, std::span<const double> q,
             std::span<double> r) {
-  const std::size_t n = x.size();
-  V2D_REQUIRE(p.size() == n && q.size() == n && r.size() == n,
-              "daxpy2: length mismatch");
-  if (ctx.native()) {
-    record_analytic(ctx, KernelShape::Daxpy2, n);
-    native::daxpy2(a, p.data(), x.data(), b, q.data(), r.data(), n);
-    return;
-  }
-  const VReg va = ctx.dup(a);
-  const VReg vb = ctx.dup(b);
-  vla::strip_mine(ctx, n, [&](std::uint64_t i, const Predicate& pr) {
-    const VReg vp = ctx.ld1(pr, &p[i]);
-    const VReg vx = ctx.ld1(pr, &x[i]);
-    ctx.st1(pr, &x[i], ctx.fma(pr, vp, va, vx));
-    const VReg vq = ctx.ld1(pr, &q[i]);
-    const VReg vr = ctx.ld1(pr, &r[i]);
-    ctx.st1(pr, &r[i], ctx.fma(pr, vq, vb, vr));
-  });
+  fusion::daxpy2(ctx, a, p, x, b, q, r);
 }
 
 void axpy_out(Context& ctx, std::span<const double> x, double a,

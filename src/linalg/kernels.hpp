@@ -76,7 +76,7 @@ void stencil_row(vla::Context& ctx, std::span<const double> cc,
 void coupling_row(vla::Context& ctx, std::span<const double> csp,
                   const double* xo, std::span<double> y);
 
-// --- fused composites (FuseMode::On) -----------------------------------------
+// --- fused composites (FuseMode::On / FuseMode::Plan) ------------------------
 //
 // One-pass versions of the kernel chains the solver hot loops issue.  Each
 // evaluates the same per-element expressions in the same association order
@@ -86,6 +86,10 @@ void coupling_row(vla::Context& ctx, std::span<const double> csp,
 // exactly like DistVector::dot_ganged, so the recorded stream is the
 // hardware composite (dot folded in as predicated FMAs + one horizontal
 // reduce) while the returned value stays tiling-independent.
+//
+// stencil_row_fused and daxpy2 are thin wrappers over planner-generated
+// groups (src/linalg/fusion/); the remaining composites keep hand-written
+// triples as the differential-testing oracle for `--fuse plan`.
 
 /// Fused stencil-row composite.  Always computes the five-point row into
 /// `y`; the optional operands select the composite:

@@ -108,84 +108,6 @@ void restrict_row(const double* const fine[4], const std::int64_t* fm1,
   }
 }
 
-void stencil_sub_row(const double* cc, const double* cw, const double* ce,
-                     const double* cs, const double* cn, const double* xc,
-                     const double* xs, const double* xn, const double* b,
-                     double* r, std::size_t n) {
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-    double acc = cc[i] * xc[i];
-    acc = cw[i] * xc[i - 1] + acc;
-    acc = ce[i] * xc[i + 1] + acc;
-    acc = cs[i] * xs[i] + acc;
-    acc = cn[i] * xn[i] + acc;
-    r[i] = b[i] - acc;
-  }
-}
-
-void coupled_stencil_sub_row(const double* cc, const double* cw,
-                             const double* ce, const double* cs,
-                             const double* cn, const double* csp,
-                             const double* xc, const double* xs,
-                             const double* xn, const double* xo,
-                             const double* b, double* r, std::size_t n) {
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-    double acc = cc[i] * xc[i];
-    acc = cw[i] * xc[i - 1] + acc;
-    acc = ce[i] * xc[i + 1] + acc;
-    acc = cs[i] * xs[i] + acc;
-    acc = cn[i] * xn[i] + acc;
-    acc = csp[i] * xo[i] + acc;
-    r[i] = b[i] - acc;
-  }
-}
-
-void stencil_dot_row(const double* cc, const double* cw, const double* ce,
-                     const double* cs, const double* cn, const double* csp,
-                     const double* xc, const double* xs, const double* xn,
-                     const double* xo, const double* w, double* y,
-                     std::size_t n, DdAccumulator& acc) {
-  // One mixed loop: the compensated dot is a serial ~4-cycle/element
-  // dependency chain, but the stencil's loads keep this row memory-bound,
-  // so interleaving hides the chain behind the stalls the sweep pays
-  // anyway — a separate dot pass would serialize the chain *after* them.
-  // `acc` is accumulated through a register-resident local (the compiler
-  // cannot prove the reference does not alias the arrays), and the
-  // element order is exactly the two-pass order, so the value is
-  // unchanged.
-  DdAccumulator a = acc;
-  if (csp != nullptr) {
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-      double v = cc[i] * xc[i];
-      v = cw[i] * xc[i - 1] + v;
-      v = ce[i] * xc[i + 1] + v;
-      v = cs[i] * xs[i] + v;
-      v = cn[i] * xn[i] + v;
-      v = csp[i] * xo[i] + v;
-      y[i] = v;
-      a.add(w[i] * v);
-    }
-  } else {
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-      double v = cc[i] * xc[i];
-      v = cw[i] * xc[i - 1] + v;
-      v = ce[i] * xc[i + 1] + v;
-      v = cs[i] * xs[i] + v;
-      v = cn[i] * xn[i] + v;
-      y[i] = v;
-      a.add(w[i] * v);
-    }
-  }
-  acc = a;
-}
-
-void daxpy2(double a, const double* p, double* x, double b, const double* q,
-            double* r, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    x[i] = p[i] * a + x[i];
-    r[i] = q[i] * b + r[i];
-  }
-}
-
 void axpy_out(const double* x, double a, const double* y, double* z,
               std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) z[i] = y[i] * a + x[i];

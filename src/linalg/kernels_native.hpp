@@ -99,31 +99,9 @@ void prolong_row_add(const double* cnear, const double* cfar,
 // of every kernel is a plain loop the compiler can auto-vectorize; the
 // compensated dot tail is a separate serial loop over the (cache-hot) row.
 
-/// Fused residual row: r_i ← b_i − stencil_i (no coupling).
-void stencil_sub_row(const double* cc, const double* cw, const double* ce,
-                     const double* cs, const double* cn, const double* xc,
-                     const double* xs, const double* xn, const double* b,
-                     double* r, std::size_t n);
-
-/// Fused residual row with species coupling folded into the sweep.
-void coupled_stencil_sub_row(const double* cc, const double* cw,
-                             const double* ce, const double* cs,
-                             const double* cn, const double* csp,
-                             const double* xc, const double* xs,
-                             const double* xn, const double* xo,
-                             const double* b, double* r, std::size_t n);
-
-/// Fused MATVEC+DPROD row: stencil (optionally coupled, csp/xo may be
-/// null) into y, then acc += Σ w_i·y_i compensated in element order.
-void stencil_dot_row(const double* cc, const double* cw, const double* ce,
-                     const double* cs, const double* cn, const double* csp,
-                     const double* xc, const double* xs, const double* xn,
-                     const double* xo, const double* w, double* y,
-                     std::size_t n, DdAccumulator& acc);
-
-/// Fused CG twin update: x ← x + a·p and r ← r + b·q in one pass.
-void daxpy2(double a, const double* p, double* x, double b, const double* q,
-            double* r, std::size_t n);
+// The fused stencil rows and DAXPY₂ are planner-generated now — their
+// native kernels are stamped from the fusion template set
+// (src/linalg/fusion/fused_exec.cpp) instead of being hand-written here.
 
 /// Fused COPY+DAXPY: z ← x + a·y.
 void axpy_out(const double* x, double a, const double* y, double* z,

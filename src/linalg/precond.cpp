@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "linalg/fusion/fused_exec.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/mg/mg_precond.hpp"
 #include "support/dd.hpp"
@@ -27,6 +28,14 @@ void diagonal_apply_dot2(ExecContext& ctx, grid::DistField& m, DistVector& x,
   const auto& dec = x.field().decomp();
   const int nranks = dec.nranks();
   auto* qv_vec = const_cast<DistVector*>(update_q);
+  if (ctx.dag != nullptr) {
+    const auto gn = static_cast<std::uint64_t>(x.global_size());
+    if (update_q != nullptr)
+      ctx.dag->op("daxpy", gn, {update_q, &x}, {&x});
+    ctx.dag->op("hadamard", gn, {&m, &x}, {&y});
+    ctx.dag->op("dot", gn, {&y, &x}, {});
+    ctx.dag->op("dot", gn, {&x, &x}, {});
+  }
   std::vector<std::array<DdAccumulator, 2>> partial(
       static_cast<std::size_t>(nranks));
   par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
@@ -41,15 +50,31 @@ void diagonal_apply_dot2(ExecContext& ctx, grid::DistField& m, DistVector& x,
           qv_vec != nullptr ? qv_vec->field().view(r, s) : mv;
       for (int lj = 0; lj < e.nj; ++lj) {
         if (qv_vec != nullptr) {
-          hadamard_update_dot2(
-              rctx.vctx, std::span<const double>(mv.row(lj), n), update_a,
-              std::span<const double>(qv.row(lj), n),
-              std::span<double>(xv.row(lj), n),
-              std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+          if (rctx.planned()) {
+            fusion::hadamard_update_dot2(
+                rctx.vctx, std::span<const double>(mv.row(lj), n), update_a,
+                std::span<const double>(qv.row(lj), n),
+                std::span<double>(xv.row(lj), n),
+                std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+          } else {
+            hadamard_update_dot2(
+                rctx.vctx, std::span<const double>(mv.row(lj), n), update_a,
+                std::span<const double>(qv.row(lj), n),
+                std::span<double>(xv.row(lj), n),
+                std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+          }
         } else {
-          hadamard_dot2(rctx.vctx, std::span<const double>(mv.row(lj), n),
-                        std::span<const double>(xv.row(lj), n),
-                        std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+          if (rctx.planned()) {
+            fusion::hadamard_dot2(rctx.vctx,
+                                  std::span<const double>(mv.row(lj), n),
+                                  std::span<const double>(xv.row(lj), n),
+                                  std::span<double>(yv.row(lj), n), acc[0],
+                                  acc[1]);
+          } else {
+            hadamard_dot2(rctx.vctx, std::span<const double>(mv.row(lj), n),
+                          std::span<const double>(xv.row(lj), n),
+                          std::span<double>(yv.row(lj), n), acc[0], acc[1]);
+          }
         }
       }
     }
@@ -104,6 +129,9 @@ JacobiPrecond::JacobiPrecond(ExecContext& ctx, const StencilOperator& A)
 
 void JacobiPrecond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
   const auto& dec = x.field().decomp();
+  if (ctx.dag != nullptr)
+    ctx.dag->op("hadamard", static_cast<std::uint64_t>(x.global_size()),
+                {&dinv_, &x}, {&y});
   par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     const auto n = static_cast<std::size_t>(e.ni);
@@ -177,6 +205,9 @@ Spai0Precond::Spai0Precond(ExecContext& ctx, const StencilOperator& A)
 
 void Spai0Precond::apply(ExecContext& ctx, DistVector& x, DistVector& y) {
   const auto& dec = x.field().decomp();
+  if (ctx.dag != nullptr)
+    ctx.dag->op("hadamard", static_cast<std::uint64_t>(x.global_size()),
+                {&m_, &x}, {&y});
   par_ranks(ctx, dec, [&](int r, ExecContext& rctx) {
     const grid::TileExtent& e = dec.extent(r);
     const auto n = static_cast<std::size_t>(e.ni);

@@ -27,6 +27,7 @@
 
 #include "sim/isa.hpp"
 #include "support/error.hpp"
+#include "vla/kernel_dag.hpp"
 
 namespace v2d::vla {
 
@@ -126,7 +127,8 @@ public:
   explicit Context(VectorArch arch = VectorArch{},
                    VlaExecMode mode = VlaExecMode::Interpret)
       : arch_(arch), mode_(mode),
-        count_cache_(std::make_shared<CountCache>()) {}
+        count_cache_(std::make_shared<CountCache>()),
+        dag_store_(std::make_shared<DagStore>()) {}
 
   unsigned lanes() const { return arch_.lanes(); }
   const VectorArch& arch() const { return arch_; }
@@ -136,7 +138,14 @@ public:
   /// count cache, but with a private recording accumulator so concurrent
   /// rank tasks never interleave their instruction streams.  Allocation-
   /// free beyond the shared_ptr bump — fork() runs once per rank task.
-  Context fork() const { return Context(arch_, mode_, count_cache_); }
+  Context fork() const { return Context(arch_, mode_, count_cache_, dag_store_); }
+
+  /// The fork-family memo of captured solver-iteration kernel DAGs (see
+  /// vla/kernel_dag.hpp).  Like the analytic-count cache it is shared
+  /// across fork()ed contexts and farm sessions built from one prototype;
+  /// keys carry the full (solver, precond, shape, VL, exec-mode)
+  /// configuration, so concurrent sessions never collide.
+  DagStore& dag_store() const { return *dag_store_; }
 
   VlaExecMode exec_mode() const { return mode_; }
   void set_exec_mode(VlaExecMode m) { mode_ = m; }
@@ -157,6 +166,14 @@ public:
   /// duplicate concurrent miss just recomputes the same deterministic
   /// value, and returned references stay valid because unordered_map
   /// never relocates elements.
+  ///
+  /// The key space is partitioned by producer so a Context shared across
+  /// farm jobs running different --fuse modes can never read a count
+  /// cached under another mode's kernel: primitive/bespoke shapes key as
+  /// (KernelShape << 56) | n with bit 63 clear, while planner-generated
+  /// fused groups key as (1 << 63) | (stamp id << 56) | n, where the
+  /// stamp id is assigned from the fused-op signature registry
+  /// (fusion::GroupProgram::sig) in fixed registration order.
   template <typename Factory>
   const sim::KernelCounts& memo_counts(std::uint64_t key, Factory&& make) {
     CountCache& cache = *count_cache_;
@@ -403,14 +420,16 @@ private:
     std::atomic<std::uint64_t> misses{0};
   };
 
-  Context(VectorArch arch, VlaExecMode mode,
-          std::shared_ptr<CountCache> cache)
-      : arch_(arch), mode_(mode), count_cache_(std::move(cache)) {}
+  Context(VectorArch arch, VlaExecMode mode, std::shared_ptr<CountCache> cache,
+          std::shared_ptr<DagStore> dags)
+      : arch_(arch), mode_(mode), count_cache_(std::move(cache)),
+        dag_store_(std::move(dags)) {}
 
   VectorArch arch_;
   VlaExecMode mode_ = VlaExecMode::Interpret;
   sim::KernelCounts counts_;
   std::shared_ptr<CountCache> count_cache_;
+  std::shared_ptr<DagStore> dag_store_;
 };
 
 }  // namespace v2d::vla

@@ -5,9 +5,11 @@ Compares a freshly produced bench JSON against the baseline committed
 under bench/baselines/, row by row.  Two kinds of checks run:
 
   * absolute floors — the properties a PR must never regress past
-    (fusion >= 1.3x host speedup on memory-bound sizes, reduced simulated
-    memory cycles/bytes, pinned trajectories; native fast path >= 5x on
-    the hot Table II kernels);
+    (fusion >= 1.3x host speedup on memory-bound sizes, planner legs
+    within 5% of the hand-written composites' host speedup with a
+    simulated clock never above them, reduced simulated memory
+    cycles/bytes, pinned trajectories; native fast path >= 5x on the hot
+    Table II kernels);
   * relative-to-baseline — each row's speedup may not drop below
     (1 - tol) x its committed value.  Host timings on shared CI runners
     are noisy, so the default tolerance is generous; the floors do the
@@ -33,6 +35,9 @@ Conditional floors (rank_parallel, farm) carry an explicit per-row
 "n/a" (not a gate row).  This checker re-derives what the marker *should*
 be from the row's own host_cores, so a runner can neither silently skip a
 floor it could have judged nor claim to have enforced one it couldn't.
+Fusion rows carry the same idea as "plan_gate": "enforced" on rows large
+enough for the planner host floor, "n/a" below it — re-derived here from
+the row's own n.
 """
 
 import argparse
@@ -46,6 +51,9 @@ SIM_REL_TOL = 0.02
 # Host-speedup floors (mirror the in-binary gates).
 FUSION_GATE_SIZE = 256
 FUSION_GATE_SPEEDUP = 1.3
+# Planner dispatch overhead allowance: --fuse plan must keep >= 95% of
+# the hand-written --fuse on host speedup on gated rows.
+FUSION_PLAN_KEEP = 0.95
 KERNELS_GATE_N = 40000
 KERNELS_GATE_SPEEDUP = 5.0
 KERNELS_HOT = {"daxpy", "dprod", "matvec"}
@@ -95,15 +103,34 @@ def check_fusion(current, baseline, tol):
         tag = f"fusion {key[0]}/{key[1]}x{key[1]}@vl{key[2]}/{key[3]}"
         if not row["identical"]:
             errors.append(f"{tag}: fused trajectory diverged from unfused")
+        if not row["plan_identical"]:
+            errors.append(f"{tag}: planned trajectory diverged from unfused")
         if row["mem_cycles_fused"] >= row["mem_cycles_unfused"]:
             errors.append(f"{tag}: simulated memory cycles not reduced")
         if row["bytes_fused"] >= row["bytes_unfused"]:
             errors.append(f"{tag}: priced bytes not reduced")
-        if row["n"] >= FUSION_GATE_SIZE:
+        # The planner's simulated clock is deterministic and may never
+        # exceed the hand-written composites' — it emits the same fused
+        # groups, so this holds on every row.
+        if row["sim_plan_s"] > row["sim_fused_s"]:
+            errors.append(
+                f"{tag}: planned simulated clock {row['sim_plan_s']} s "
+                f"> hand-written {row['sim_fused_s']} s")
+        gated = row["n"] >= FUSION_GATE_SIZE
+        check_gate_marker(row, tag, "enforced" if gated else "n/a",
+                          errors, field="plan_gate")
+        if gated:
             if row["host_speedup"] < FUSION_GATE_SPEEDUP:
                 errors.append(
                     f"{tag}: host speedup {row['host_speedup']:.2f} "
                     f"< floor {FUSION_GATE_SPEEDUP}")
+            plan_floor = FUSION_PLAN_KEEP * row["host_speedup"]
+            if row["plan_host_speedup"] < plan_floor:
+                errors.append(
+                    f"{tag}: planned host speedup "
+                    f"{row['plan_host_speedup']:.2f} < "
+                    f"{FUSION_PLAN_KEEP:.0%} of hand-written "
+                    f"{row['host_speedup']:.2f}")
         ref = base.get(key)
         if ref is None:
             continue
@@ -112,7 +139,14 @@ def check_fusion(current, baseline, tol):
             errors.append(
                 f"{tag}: host speedup {row['host_speedup']:.2f} < "
                 f"baseline {ref['host_speedup']:.2f} - {tol:.0%}")
-        for field in ("iters", "bytes_unfused", "bytes_fused"):
+        plan_ref_floor = ref["plan_host_speedup"] * (1.0 - tol)
+        if row["plan_host_speedup"] < plan_ref_floor:
+            errors.append(
+                f"{tag}: planned host speedup "
+                f"{row['plan_host_speedup']:.2f} < baseline "
+                f"{ref['plan_host_speedup']:.2f} - {tol:.0%}")
+        for field in ("iters", "bytes_unfused", "bytes_fused",
+                      "bytes_plan"):
             a, b = row[field], ref[field]
             if abs(a - b) > SIM_REL_TOL * max(abs(b), 1):
                 errors.append(
