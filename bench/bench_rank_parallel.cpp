@@ -1,21 +1,28 @@
 /// \file bench_rank_parallel.cpp
 /// \brief Host wall-time scaling of the rank-parallel execution engine.
 ///
-/// Everything the simulator prices is unchanged by --host-threads (the
-/// rank-parallel engine is bit-identical to serial by construction, and
-/// this bench re-verifies that on every run): what changes is how long the
-/// *host* takes to execute the simulated ranks.  This binary runs the
-/// paper's radiation problem on a >= 16-rank tiling at each requested
-/// host-thread count (best of --repeats timing samples, so noisy shared
-/// CI runners don't flake the gate), checks the simulated clocks and the
-/// final field of every sample against the serial baseline, and emits
-/// BENCH_rank_parallel.json with the scaling curve.
+/// Everything the simulator prices is unchanged by --host-threads and
+/// --host-sched (the rank-parallel engine is bit-identical to serial by
+/// construction, and this bench re-verifies that on every run): what
+/// changes is how long the *host* takes to execute the simulated ranks.
+/// This binary runs the paper's radiation problem on a >= 16-rank tiling
+/// at each requested (host-thread count, scheduler) pair — the barrier
+/// fork/join pool and the dependency-scheduled task graph — best of
+/// --repeats timing samples so noisy shared CI runners don't flake the
+/// gates, checks the simulated clocks and the final field of every sample
+/// against the serial baseline, and emits BENCH_rank_parallel.json with
+/// both scaling curves.
 ///
-/// The >= 2x-at-4-threads gate only fires when the machine actually has
-/// >= 4 hardware threads; on smaller hosts the curve is still emitted.
+/// Two conditional floors:
+///   * >= 2x at 4 threads — only when the machine has >= 4 hardware
+///     threads (either scheduler);
+///   * graph >= 0.95x barrier at the same thread count — only when the
+///     machine has >= 2 hardware threads (on one core both schedulers
+///     serialize and the ratio is pure scheduling noise).
 ///
 ///   ./bench_rank_parallel [--nx1 256 --nx2 128 --nprx1 4 --nprx2 4]
-///                         [--threads 1,2,4] [--steps 1]
+///                         [--threads 1,2,4] [--scheds barrier,graph]
+///                         [--steps 1]
 
 #include <chrono>
 #include <cstdio>
@@ -35,10 +42,17 @@ namespace {
 
 using namespace v2d;
 
+/// graph must keep >= this fraction of barrier's host throughput at the
+/// same thread count (mirrored by tools/check_bench.py).
+constexpr double kGraphFloor = 0.95;
+constexpr int kGraphFloorCores = 2;
+
 struct Result {
   int threads = 0;
+  std::string sched = "barrier";
   double host_seconds = 0.0;
-  double speedup = 1.0;       // vs the 1-thread run
+  double speedup = 1.0;        // vs the first (serial baseline) row
+  double vs_barrier = 1.0;     // this row's throughput / barrier's, same threads
   double sim_elapsed_s = 0.0;  // simulated wall clock (profile 0)
   bool identical = true;       // field + clocks match the serial baseline
   /// What happened to the >= 2x-at-4-threads floor on this row:
@@ -47,6 +61,10 @@ struct Result {
   /// ROADMAP-noted silent never-firing case, now visible in the JSON),
   /// or "n/a" (not a gate row: < 4 threads or < 16 ranks).
   std::string speedup_gate = "n/a";
+  /// Same idea for the graph-vs-barrier regression floor: "enforced"
+  /// (graph row, barrier sibling present, >= 2 host cores), "skipped"
+  /// (graph row on a cores-starved host) or "n/a" (barrier row).
+  std::string graph_floor = "n/a";
 };
 
 struct Baseline {
@@ -61,20 +79,31 @@ void write_json(const std::string& path, const std::vector<Result>& results,
   os << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
-                  "  {\"threads\": %d, \"host_seconds\": %.6f, "
-                  "\"speedup\": %.3f, \"sim_elapsed_s\": %.6f, "
+                  "  {\"threads\": %d, \"sched\": \"%s\", "
+                  "\"host_seconds\": %.6f, \"speedup\": %.3f, "
+                  "\"vs_barrier\": %.3f, \"sim_elapsed_s\": %.6f, "
                   "\"identical\": %s, \"ranks\": %d, \"nx1\": %d, "
                   "\"nx2\": %d, \"host_cores\": %d, "
-                  "\"speedup_gate\": \"%s\"}%s\n",
-                  r.threads, r.host_seconds, r.speedup, r.sim_elapsed_s,
+                  "\"speedup_gate\": \"%s\", \"graph_floor\": \"%s\"}%s\n",
+                  r.threads, r.sched.c_str(), r.host_seconds, r.speedup,
+                  r.vs_barrier, r.sim_elapsed_s,
                   r.identical ? "true" : "false", ranks, nx1, nx2, host_cores,
-                  r.speedup_gate.c_str(),
+                  r.speedup_gate.c_str(), r.graph_floor.c_str(),
                   i + 1 < results.size() ? "," : "");
     os << buf;
   }
   os << "]\n";
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
 }
 
 }  // namespace
@@ -86,8 +115,10 @@ int main(int argc, char** argv) {
   opt.add("nprx1", "4", "tiles in x1");
   opt.add("nprx2", "4", "tiles in x2 (nprx1*nprx2 simulated ranks)");
   opt.add("steps", "2", "time steps per run");
-  opt.add("repeats", "3", "timing repetitions per thread count (best kept)");
+  opt.add("repeats", "3", "timing repetitions per configuration (best kept)");
   opt.add("threads", "1,2,4", "comma list of host-thread counts");
+  opt.add("scheds", "barrier,graph",
+          "comma list of host schedulers (barrier|graph)");
   opt.add("vla-exec", "native", "VLA backend: native | interpret");
   opt.add("out", "BENCH_rank_parallel.json", "JSON output path (empty = none)");
   try {
@@ -98,15 +129,15 @@ int main(int argc, char** argv) {
   }
 
   std::vector<int> thread_counts;
-  {
-    std::stringstream ss(opt.get("threads"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      if (!item.empty()) thread_counts.push_back(std::stoi(item));
-    }
-  }
+  for (const std::string& item : split_list(opt.get("threads")))
+    thread_counts.push_back(std::stoi(item));
   if (thread_counts.empty() || thread_counts.front() != 1) {
     std::cerr << "--threads must start with 1 (the serial baseline)\n";
+    return 1;
+  }
+  const std::vector<std::string> scheds = split_list(opt.get("scheds"));
+  if (scheds.empty() || scheds.front() != "barrier") {
+    std::cerr << "--scheds must start with barrier (the reference engine)\n";
     return 1;
   }
 
@@ -127,54 +158,72 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   Baseline base;
   for (const int threads : thread_counts) {
-    cfg.host_threads = threads;
-    // Best-of-N timing: shared CI runners are noisy, and only the best
-    // sample reflects what the engine can do.  Every repetition's output
-    // is still checked against the serial baseline.
-    Result r;
-    r.threads = threads;
-    r.host_seconds = 1e300;
-    std::vector<double> field;
-    std::vector<double> clocks;
-    for (int rep = 0; rep < repeats; ++rep) {
-      core::Simulation sim(cfg);  // applies set_host_threads(...)
-      const auto t0 = std::chrono::steady_clock::now();
-      sim.run();
-      const double host_s =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      if (host_s < r.host_seconds) r.host_seconds = host_s;
-      r.sim_elapsed_s = sim.elapsed(0);
-      field = sim.radiation().field().gather_global();
-      clocks.clear();
-      for (int rank = 0; rank < sim.exec().nranks(); ++rank)
-        clocks.push_back(sim.exec().rank_time(0, rank));
-      if (base.set && (field != base.field || clocks != base.clocks))
-        r.identical = false;
+    for (const std::string& sched : scheds) {
+      cfg.host_threads = threads;
+      cfg.host_sched = sched;
+      // Best-of-N timing: shared CI runners are noisy, and only the best
+      // sample reflects what the engine can do.  Every repetition's output
+      // is still checked against the serial baseline.
+      Result r;
+      r.threads = threads;
+      r.sched = sched;
+      r.host_seconds = 1e300;
+      std::vector<double> field;
+      std::vector<double> clocks;
+      for (int rep = 0; rep < repeats; ++rep) {
+        core::Simulation sim(cfg);  // applies set_host_threads(...)
+        const auto t0 = std::chrono::steady_clock::now();
+        sim.run();
+        const double host_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+        if (host_s < r.host_seconds) r.host_seconds = host_s;
+        r.sim_elapsed_s = sim.elapsed(0);
+        field = sim.radiation().field().gather_global();
+        clocks.clear();
+        for (int rank = 0; rank < sim.exec().nranks(); ++rank)
+          clocks.push_back(sim.exec().rank_time(0, rank));
+        if (base.set && (field != base.field || clocks != base.clocks))
+          r.identical = false;
+      }
+      if (!base.set) {
+        base.field = field;
+        base.clocks = clocks;
+        base.set = true;
+      } else {
+        r.speedup = results.front().host_seconds / r.host_seconds;
+      }
+      results.push_back(r);
+      std::cerr << "  threads=" << threads << " sched=" << sched
+                << "  host=" << r.host_seconds << " s  speedup=" << r.speedup
+                << "\n";
     }
-    if (!base.set) {
-      base.field = field;
-      base.clocks = clocks;
-      base.set = true;
-    } else {
-      r.speedup = results.front().host_seconds / r.host_seconds;
+  }
+
+  // Pair every graph row with its barrier sibling at the same thread count.
+  for (Result& r : results) {
+    if (r.sched == "barrier") continue;
+    for (const Result& b : results) {
+      if (b.sched == "barrier" && b.threads == r.threads) {
+        r.vs_barrier = b.host_seconds / r.host_seconds;
+        break;
+      }
     }
-    results.push_back(r);
-    std::cerr << "  threads=" << threads << "  host=" << r.host_seconds
-              << " s  speedup=" << r.speedup << "\n";
   }
 
   TableWriter table("Rank-parallel host execution: wall-time scaling (" +
                     std::to_string(ranks) + " simulated ranks, " +
                     cfg.vla_exec + " backend)");
-  table.set_columns({"host threads", "host (s)", "speedup", "sim (s)",
-                     "bit-identical"});
+  table.set_columns({"host threads", "sched", "host (s)", "speedup",
+                     "vs barrier", "sim (s)", "bit-identical"});
   bool identical_ok = true;
   bool speedup_ok = true;
+  bool floor_ok = true;
   for (const Result& r : results) {
-    table.add_row({TableWriter::integer(r.threads),
+    table.add_row({TableWriter::integer(r.threads), r.sched,
                    TableWriter::num(r.host_seconds, 4),
                    TableWriter::num(r.speedup, 2),
+                   r.sched == "barrier" ? "-" : TableWriter::num(r.vs_barrier, 2),
                    TableWriter::num(r.sim_elapsed_s, 4),
                    r.identical ? "yes" : "NO"});
     if (!r.identical) identical_ok = false;
@@ -185,13 +234,25 @@ int main(int argc, char** argv) {
   // cores-starved runner shows "skipped" in the JSON instead of silently
   // passing.
   for (Result& r : results) {
-    if (r.threads < 4 || ranks < 16) continue;
-    if (host_cores < r.threads) {
-      r.speedup_gate = "skipped";
-      continue;
+    if (r.threads >= 4 && ranks >= 16) {
+      if (host_cores < r.threads) {
+        r.speedup_gate = "skipped";
+      } else {
+        r.speedup_gate = "enforced";
+        if (r.speedup < 2.0) speedup_ok = false;
+      }
     }
-    r.speedup_gate = "enforced";
-    if (r.speedup < 2.0) speedup_ok = false;
+    // The graph regression floor: never more than 5% behind barrier at
+    // the same thread count — judged only with >= 2 host cores (serial
+    // machines measure scheduling noise, not scheduling).
+    if (r.sched == "graph") {
+      if (host_cores < kGraphFloorCores) {
+        r.graph_floor = "skipped";
+      } else {
+        r.graph_floor = "enforced";
+        if (r.vs_barrier < kGraphFloor) floor_ok = false;
+      }
+    }
   }
   table.print(std::cout);
   std::cout << "host cores: " << host_cores << "\n";
@@ -209,6 +270,12 @@ int main(int argc, char** argv) {
   if (!speedup_ok) {
     std::cerr << "FAIL: under 2x host speedup at 4 threads despite >= 4 "
                  "host cores\n";
+    return 1;
+  }
+  if (!floor_ok) {
+    std::cerr << "FAIL: --host-sched graph fell below " << kGraphFloor
+              << "x of barrier at the same thread count despite >= "
+              << kGraphFloorCores << " host cores\n";
     return 1;
   }
   return 0;

@@ -1,7 +1,9 @@
 #include "grid/dist_field.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "support/task_graph.hpp"
 #include "support/thread_pool.hpp"
 
 namespace v2d::grid {
@@ -66,18 +68,21 @@ const TileView DistField::view(int rank, int s) const {
 }
 
 double DistField::gget(int s, int gi, int gj) const {
+  task_graph::sync_current();  // direct reads join any chained writers
   const int r = dec_->owner(gi, gj);
   const TileExtent& e = dec_->extent(r);
   return view(r, s)(gi - e.i0, gj - e.j0);
 }
 
 void DistField::gset(int s, int gi, int gj, double v) {
+  task_graph::sync_current();
   const int r = dec_->owner(gi, gj);
   const TileExtent& e = dec_->extent(r);
   view(r, s)(gi - e.i0, gj - e.j0) = v;
 }
 
 void DistField::fill(double v) {
+  task_graph::sync_current();
   for (auto& buf : data_) std::fill(buf.begin(), buf.end(), v);
 }
 
@@ -142,6 +147,37 @@ std::vector<mpisim::Transfer> DistField::exchange_ghosts() {
   return concat(per_rank);
 }
 
+std::vector<mpisim::Transfer> DistField::ghost_transfer_plan() const {
+  const auto& topo = dec_->topology();
+  std::vector<mpisim::Transfer> out;
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (int d = 0; d < mpisim::kNumDirs; ++d) {
+      const auto dir = static_cast<Dir>(d);
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      const bool x1_dir = dir == Dir::West || dir == Dir::East;
+      const auto strip = static_cast<std::uint64_t>(x1_dir ? e.nj : e.ni);
+      out.push_back(
+          mpisim::Transfer{*nb, r, strip * ns_ * ng_ * sizeof(double), x1_dir});
+    }
+  }
+  return out;
+}
+
+void DistField::copy_halo(int rank, bool x1_dirs) {
+  const auto& topo = dec_->topology();
+  const TileExtent& e = dec_->extent(rank);
+  const std::array<Dir, 2> dirs =
+      x1_dirs ? std::array<Dir, 2>{Dir::West, Dir::East}
+              : std::array<Dir, 2>{Dir::South, Dir::North};
+  for (const auto dir : dirs) {
+    const auto nb = topo.neighbor(rank, dir);
+    if (!nb) continue;
+    (void)copy_halo_strip(rank, *nb, dir, 0, x1_dirs ? e.nj : e.ni);
+  }
+}
+
 std::vector<mpisim::Transfer> DistField::exchange_ghosts_full() {
   const auto& topo = dec_->topology();
   std::vector<std::vector<mpisim::Transfer>> phase1(
@@ -184,74 +220,78 @@ std::vector<mpisim::Transfer> DistField::exchange_ghosts_full() {
 }
 
 void DistField::apply_bc(BcKind bc) {
-  const auto& topo = dec_->topology();
-  const int gnx1 = grid_->nx1();
-  const int gnx2 = grid_->nx2();
   // Rank-parallel: each rank writes only its own boundary ghosts; the
   // periodic wrap-around reads other tiles' interiors, which stay
-  // untouched during the sweep.
+  // untouched during the sweep.  The x1 pass runs before the x2 pass so
+  // domain-edge corner ghosts source from already-filled x1 ghosts —
+  // exactly the order the overlap tasks reproduce per rank.
   par_ranks(*dec_, [&](int r) {
-    const TileExtent& e = dec_->extent(r);
-    const bool at_w = e.i0 == 0;
-    const bool at_e = e.i0 + e.ni == gnx1;
-    const bool at_s = e.j0 == 0;
-    const bool at_n = e.j0 + e.nj == gnx2;
-    // Dirichlet/Neumann fills cover the padded range so domain-edge corner
-    // ghosts get defined values (the x2 rules run last and source from the
-    // already-filled x1 ghosts).  Periodic keeps the interior range: its
-    // wrap-around lookup is only defined for in-domain rows/columns.
-    const int pad = bc == BcKind::Periodic ? 0 : ng_;
-    for (int s = 0; s < ns_; ++s) {
-      TileView v = view(r, s);
-      for (int g = 0; g < ng_; ++g) {
-        if (at_w) {
-          for (int lj = -pad; lj < e.nj + pad; ++lj) {
-            switch (bc) {
-              case BcKind::Dirichlet0: v(-1 - g, lj) = 0.0; break;
-              case BcKind::Neumann0: v(-1 - g, lj) = v(g, lj); break;
-              case BcKind::Periodic:
-                v(-1 - g, lj) = gget(s, gnx1 - 1 - g, e.j0 + lj);
-                break;
-            }
+    apply_bc_dir(bc, r, /*x1_dirs=*/true);
+    apply_bc_dir(bc, r, /*x1_dirs=*/false);
+  });
+}
+
+void DistField::apply_bc_dir(BcKind bc, int r, bool x1_dirs) {
+  const int gnx1 = grid_->nx1();
+  const int gnx2 = grid_->nx2();
+  const TileExtent& e = dec_->extent(r);
+  const bool at_w = x1_dirs && e.i0 == 0;
+  const bool at_e = x1_dirs && e.i0 + e.ni == gnx1;
+  const bool at_s = !x1_dirs && e.j0 == 0;
+  const bool at_n = !x1_dirs && e.j0 + e.nj == gnx2;
+  // Dirichlet/Neumann fills cover the padded range so domain-edge corner
+  // ghosts get defined values.  Periodic keeps the interior range: its
+  // wrap-around lookup is only defined for in-domain rows/columns.
+  const int pad = bc == BcKind::Periodic ? 0 : ng_;
+  for (int s = 0; s < ns_; ++s) {
+    TileView v = view(r, s);
+    for (int g = 0; g < ng_; ++g) {
+      if (at_w) {
+        for (int lj = -pad; lj < e.nj + pad; ++lj) {
+          switch (bc) {
+            case BcKind::Dirichlet0: v(-1 - g, lj) = 0.0; break;
+            case BcKind::Neumann0: v(-1 - g, lj) = v(g, lj); break;
+            case BcKind::Periodic:
+              v(-1 - g, lj) = gget(s, gnx1 - 1 - g, e.j0 + lj);
+              break;
           }
         }
-        if (at_e) {
-          for (int lj = -pad; lj < e.nj + pad; ++lj) {
-            switch (bc) {
-              case BcKind::Dirichlet0: v(e.ni + g, lj) = 0.0; break;
-              case BcKind::Neumann0: v(e.ni + g, lj) = v(e.ni - 1 - g, lj); break;
-              case BcKind::Periodic:
-                v(e.ni + g, lj) = gget(s, g, e.j0 + lj);
-                break;
-            }
+      }
+      if (at_e) {
+        for (int lj = -pad; lj < e.nj + pad; ++lj) {
+          switch (bc) {
+            case BcKind::Dirichlet0: v(e.ni + g, lj) = 0.0; break;
+            case BcKind::Neumann0: v(e.ni + g, lj) = v(e.ni - 1 - g, lj); break;
+            case BcKind::Periodic:
+              v(e.ni + g, lj) = gget(s, g, e.j0 + lj);
+              break;
           }
         }
-        if (at_s) {
-          for (int li = -pad; li < e.ni + pad; ++li) {
-            switch (bc) {
-              case BcKind::Dirichlet0: v(li, -1 - g) = 0.0; break;
-              case BcKind::Neumann0: v(li, -1 - g) = v(li, g); break;
-              case BcKind::Periodic:
-                v(li, -1 - g) = gget(s, e.i0 + li, gnx2 - 1 - g);
-                break;
-            }
+      }
+      if (at_s) {
+        for (int li = -pad; li < e.ni + pad; ++li) {
+          switch (bc) {
+            case BcKind::Dirichlet0: v(li, -1 - g) = 0.0; break;
+            case BcKind::Neumann0: v(li, -1 - g) = v(li, g); break;
+            case BcKind::Periodic:
+              v(li, -1 - g) = gget(s, e.i0 + li, gnx2 - 1 - g);
+              break;
           }
         }
-        if (at_n) {
-          for (int li = -pad; li < e.ni + pad; ++li) {
-            switch (bc) {
-              case BcKind::Dirichlet0: v(li, e.nj + g) = 0.0; break;
-              case BcKind::Neumann0: v(li, e.nj + g) = v(li, e.nj - 1 - g); break;
-              case BcKind::Periodic:
-                v(li, e.nj + g) = gget(s, e.i0 + li, g);
-                break;
-            }
+      }
+      if (at_n) {
+        for (int li = -pad; li < e.ni + pad; ++li) {
+          switch (bc) {
+            case BcKind::Dirichlet0: v(li, e.nj + g) = 0.0; break;
+            case BcKind::Neumann0: v(li, e.nj + g) = v(li, e.nj - 1 - g); break;
+            case BcKind::Periodic:
+              v(li, e.nj + g) = gget(s, e.i0 + li, g);
+              break;
           }
         }
       }
     }
-  });
-  (void)topo;
+  }
 }
 
 std::vector<double> DistField::gather_global() const {

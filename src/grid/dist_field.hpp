@@ -77,6 +77,19 @@ public:
   /// ExecModel::exchange().
   std::vector<mpisim::Transfer> exchange_ghosts();
 
+  /// The Transfer list exchange_ghosts() would return, computed
+  /// analytically without copying any data.  Lets a task-graph caller
+  /// price the exchange up front (the collective is a join node) while the
+  /// actual strip copies run as overlap tasks (copy_halo / apply_bc_dir).
+  /// Identical element order and byte counts to exchange_ghosts().
+  std::vector<mpisim::Transfer> ghost_transfer_plan() const;
+
+  /// Copy `rank`'s ghost strips for the x1 (West+East) or x2 (South+North)
+  /// direction pair from its face neighbours — the data movement of
+  /// exchange_ghosts() restricted to one rank and one axis, for overlap
+  /// scheduling.  Writes only `rank`'s own ghosts.
+  void copy_halo(int rank, bool x1_dirs);
+
   /// Ghost exchange that also fills the diagonal (corner) ghosts, via the
   /// standard two-phase trick: first all x1-direction columns, then the
   /// x2-direction rows *including* the already-filled ghost columns, so
@@ -89,6 +102,12 @@ public:
 
   /// Fill physical-boundary ghosts.
   void apply_bc(BcKind bc);
+
+  /// One rank's share of apply_bc(), restricted to the x1 (West/East) or
+  /// x2 (South/North) domain edges.  apply_bc() is exactly the x1 pass
+  /// followed by the x2 pass for every rank, so overlap schedules that
+  /// split the passes into tasks compute bit-identical ghosts.
+  void apply_bc_dir(BcKind bc, int rank, bool x1_dirs);
 
   /// Gather the whole field (no ghosts) into a dense global array in
   /// dictionary order — used by checkpoints and validation.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/task_graph.hpp"
 
 namespace v2d::hydro {
 
@@ -225,6 +226,12 @@ void HydroSolver::sweep(ExecContext& ctx, HydroState& state, double dt,
 
 void HydroSolver::step(ExecContext& ctx, HydroState& state, double dt) {
   V2D_REQUIRE(dt > 0.0, "time step must be positive");
+  // Keep the pool's workers resident across both directional sweeps under
+  // --host-sched graph: each sweep's ghost fill and zone update run as
+  // scheduler stages without re-waking the pool per kernel.  The sweeps
+  // themselves stay ordered (x2 reads x1's output through the exchange
+  // join), so this is a residency win, not a reordering.
+  task_graph::GraphRegion graph(ctx.sched == linalg::HostSched::Graph);
   sweep(ctx, state, dt, 0);
   sweep(ctx, state, dt, 1);
 }

@@ -35,29 +35,38 @@ std::uint64_t DistVector::working_set(int rank, int arrays) const {
          static_cast<std::uint64_t>(e.ni) * e.nj * sizeof(double);
 }
 
+/// Elementwise rank loops chain under --host-sched graph: the per-rank
+/// tasks of consecutive vector ops run back-to-back on one lane without a
+/// global barrier (see par_ranks_chain).  Deferred tasks own their state:
+/// `op` and `region` are captured by value, and the row lambdas below
+/// capture pointers/scalars explicitly — never stack references.
 template <typename RowOp>
 void DistVector::for_each_row(ExecContext& ctx, KernelFamily family,
                               const std::string& region, int arrays,
                               RowOp&& op) {
-  par_ranks(ctx, field_, [&](int r, ExecContext& rctx) {
-    const grid::TileExtent& e = field_.decomp().extent(r);
-    for (int s = 0; s < ns(); ++s) {
-      for (int lj = 0; lj < e.nj; ++lj) {
-        op(rctx, r, s, lj, static_cast<std::size_t>(e.ni));
-      }
-    }
-    const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns();
-    rctx.commit(r, family, region, elements, working_set(r, arrays));
-  });
+  par_ranks_chain(
+      ctx, field_,
+      [this, family, region, arrays,
+       op = std::forward<RowOp>(op)](int r, ExecContext& rctx) {
+        const grid::TileExtent& e = field_.decomp().extent(r);
+        for (int s = 0; s < ns(); ++s) {
+          for (int lj = 0; lj < e.nj; ++lj) {
+            op(rctx, r, s, lj, static_cast<std::size_t>(e.ni));
+          }
+        }
+        const auto elements = static_cast<std::uint64_t>(e.ni) * e.nj * ns();
+        rctx.commit(r, family, region, elements, working_set(r, arrays));
+      });
 }
 
 void DistVector::daxpy(ExecContext& ctx, double a, const DistVector& x) {
   require_same_shape(*this, x);
   dag_op(ctx, "daxpy", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::Daxpy, "daxpy", 2,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, a, xp = &x](ExecContext& rctx, int r, int s, int lj,
+                                  std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
                  linalg::daxpy(rctx.vctx, a,
                                std::span<const double>(xv.row(lj), n),
@@ -68,7 +77,8 @@ void DistVector::daxpy(ExecContext& ctx, double a, const DistVector& x) {
 void DistVector::dscal(ExecContext& ctx, double c, double d) {
   dag_op(ctx, "dscal", *this, {this}, {this});
   for_each_row(ctx, KernelFamily::Dscal, "dscal", 1,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, c, d](ExecContext& rctx, int r, int s, int lj,
+                            std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
                  linalg::dscal(rctx.vctx, c, d,
                                std::span<double>(yv.row(lj), n));
@@ -81,11 +91,12 @@ void DistVector::ddaxpy(ExecContext& ctx, double a, const DistVector& x,
   require_same_shape(*this, y);
   dag_op(ctx, "ddaxpy", *this, {&x, &y, this}, {this});
   for_each_row(ctx, KernelFamily::Ddaxpy, "ddaxpy", 3,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, a, b, xp = &x, yp = &y](ExecContext& rctx, int r, int s,
+                                              int lj, std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView yv =
-                     const_cast<DistVector&>(y).field().view(r, s);
+                     const_cast<DistVector*>(yp)->field().view(r, s);
                  grid::TileView zv = field_.view(r, s);
                  linalg::ddaxpy(rctx.vctx, a,
                                 std::span<const double>(xv.row(lj), n), b,
@@ -98,9 +109,10 @@ void DistVector::xpby(ExecContext& ctx, const DistVector& x, double b) {
   require_same_shape(*this, x);
   dag_op(ctx, "xpby", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "xpby", 2,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, b, xp = &x](ExecContext& rctx, int r, int s, int lj,
+                                  std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
                  linalg::xpby(rctx.vctx,
                               std::span<const double>(xv.row(lj), n), b,
@@ -112,9 +124,10 @@ void DistVector::copy_from(ExecContext& ctx, const DistVector& x) {
   require_same_shape(*this, x);
   dag_op(ctx, "copy", *this, {&x}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "copy", 2,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, xp = &x](ExecContext& rctx, int r, int s, int lj,
+                               std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
                  linalg::copy(rctx.vctx,
                               std::span<const double>(xv.row(lj), n),
@@ -125,7 +138,8 @@ void DistVector::copy_from(ExecContext& ctx, const DistVector& x) {
 void DistVector::fill(ExecContext& ctx, double a) {
   dag_op(ctx, "fill", *this, {}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "fill", 1,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, a](ExecContext& rctx, int r, int s, int lj,
+                         std::size_t n) {
                  grid::TileView yv = field_.view(r, s);
                  linalg::fill(rctx.vctx, a, std::span<double>(yv.row(lj), n));
                });
@@ -137,11 +151,12 @@ void DistVector::assign_sub(ExecContext& ctx, const DistVector& x,
   require_same_shape(*this, y);
   dag_op(ctx, "sub", *this, {&x, &y}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "sub", 3,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, xp = &x, yp = &y](ExecContext& rctx, int r, int s,
+                                        int lj, std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView yv =
-                     const_cast<DistVector&>(y).field().view(r, s);
+                     const_cast<DistVector*>(yp)->field().view(r, s);
                  grid::TileView zv = field_.view(r, s);
                  linalg::sub(rctx.vctx,
                              std::span<const double>(xv.row(lj), n),
@@ -159,13 +174,14 @@ void DistVector::daxpy2(ExecContext& ctx, DistVector& x, double a,
   dag_op(ctx, "daxpy", x, {&p, &x}, {&x});
   dag_op(ctx, "daxpy", x, {&q, &r}, {&r});
   x.for_each_row(ctx, KernelFamily::Daxpy, "daxpy2", 4,
-                 [&](ExecContext& rctx, int rk, int s, int lj, std::size_t n) {
+                 [a, b, xp = &x, pp = &p, rp = &r, qp = &q](
+                     ExecContext& rctx, int rk, int s, int lj, std::size_t n) {
                    grid::TileView pv =
-                       const_cast<DistVector&>(p).field().view(rk, s);
+                       const_cast<DistVector*>(pp)->field().view(rk, s);
                    grid::TileView qv =
-                       const_cast<DistVector&>(q).field().view(rk, s);
-                   grid::TileView xv = x.field().view(rk, s);
-                   grid::TileView rv = r.field().view(rk, s);
+                       const_cast<DistVector*>(qp)->field().view(rk, s);
+                   grid::TileView xv = xp->field().view(rk, s);
+                   grid::TileView rv = rp->field().view(rk, s);
                    linalg::daxpy2(rctx.vctx, a,
                                   std::span<const double>(pv.row(lj), n),
                                   std::span<double>(xv.row(lj), n), b,
@@ -181,11 +197,12 @@ void DistVector::assign_axpy(ExecContext& ctx, const DistVector& x, double a,
   dag_op(ctx, "copy", *this, {&x}, {this});
   dag_op(ctx, "daxpy", *this, {&z, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "axpy", 3,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, a, xp = &x, zp = &z](ExecContext& rctx, int r, int s,
+                                           int lj, std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView zv =
-                     const_cast<DistVector&>(z).field().view(r, s);
+                     const_cast<DistVector*>(zp)->field().view(r, s);
                  grid::TileView yv = field_.view(r, s);
                  if (rctx.planned()) {
                    fusion::axpy_out(rctx.vctx,
@@ -208,11 +225,12 @@ void DistVector::fused_p_update(ExecContext& ctx, const DistVector& x,
   dag_op(ctx, "daxpy", *this, {&v, this}, {this});
   dag_op(ctx, "xpby", *this, {&x, this}, {this});
   for_each_row(ctx, KernelFamily::VecMisc, "p-update", 3,
-               [&](ExecContext& rctx, int r, int s, int lj, std::size_t n) {
+               [this, b, w, xp = &x, vp = &v](ExecContext& rctx, int r, int s,
+                                              int lj, std::size_t n) {
                  grid::TileView xv =
-                     const_cast<DistVector&>(x).field().view(r, s);
+                     const_cast<DistVector*>(xp)->field().view(r, s);
                  grid::TileView vv =
-                     const_cast<DistVector&>(v).field().view(r, s);
+                     const_cast<DistVector*>(vp)->field().view(r, s);
                  grid::TileView pv = field_.view(r, s);
                  if (rctx.planned()) {
                    fusion::p_update(rctx.vctx,

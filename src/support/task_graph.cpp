@@ -1,0 +1,315 @@
+#include "support/task_graph.hpp"
+
+#include <thread>
+
+namespace v2d::task_graph {
+
+namespace {
+
+/// Process-wide counters (relaxed: stats, not synchronization).
+std::atomic<std::uint64_t> g_sessions{0};
+std::atomic<std::uint64_t> g_stages{0};
+std::atomic<std::uint64_t> g_chained_stages{0};
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_chained_tasks{0};
+std::atomic<std::uint64_t> g_steals{0};
+std::atomic<std::uint64_t> g_syncs{0};
+
+/// Lane index of the current thread within its session (-1 = the driving
+/// thread, which owns the last lane).
+thread_local int t_lane = -1;
+
+/// Tiny spinlock over Task::edge_lock: held for pointer pushes only.
+struct EdgeLock {
+  explicit EdgeLock(Session::Task* t) : t_(t) {
+    while (t_->edge_lock.test_and_set(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+  ~EdgeLock() { t_->edge_lock.clear(std::memory_order_release); }
+  Session::Task* t_;
+};
+
+void session_run_hook(void* session, int n,
+                      const std::function<void(int)>& fn) {
+  static_cast<Session*>(session)->run_sync(n, fn);
+}
+
+/// Install the parallel_for hook once, before any thread exists.
+const bool g_hook_installed = [] {
+  detail::g_session_run = &session_run_hook;
+  return true;
+}();
+
+}  // namespace
+
+SchedStats stats() {
+  return {g_sessions.load(std::memory_order_relaxed),
+          g_stages.load(std::memory_order_relaxed),
+          g_chained_stages.load(std::memory_order_relaxed),
+          g_tasks.load(std::memory_order_relaxed),
+          g_chained_tasks.load(std::memory_order_relaxed),
+          g_steals.load(std::memory_order_relaxed),
+          g_syncs.load(std::memory_order_relaxed)};
+}
+
+Session* current() {
+  return static_cast<Session*>(detail::t_graph_session);
+}
+
+bool in_task() { return detail::t_in_graph_task; }
+
+void sync_current() {
+  if (detail::t_graph_session != nullptr && !detail::t_in_graph_task)
+    static_cast<Session*>(detail::t_graph_session)->sync();
+}
+
+Session::Session(std::shared_ptr<ThreadPool> pool) : pool_(std::move(pool)) {
+  const int workers = pool_->size() - 1;
+  nlanes_ = workers + 1;  // the driving thread owns the last lane
+  lanes_.reserve(static_cast<std::size_t>(nlanes_));
+  for (int i = 0; i < nlanes_; ++i)
+    lanes_.push_back(std::make_unique<Lane>());
+  if (workers > 0)
+    drain_ = pool_->post(workers, [this](int lane) { worker_loop(lane); });
+  g_sessions.fetch_add(1, std::memory_order_relaxed);
+}
+
+Session::~Session() {
+  if (!closed_.load(std::memory_order_relaxed)) {
+    try {
+      close();
+    } catch (...) {
+      // Destructor path: GraphRegion already drained; swallow late errors.
+    }
+  }
+}
+
+void Session::close() {
+  sync();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  if (drain_) pool_->wait(drain_);
+}
+
+Session::Task* Session::create(std::function<void()> fn) {
+  arena_.emplace_back();
+  Task* t = &arena_.back();
+  t->fn = std::move(fn);
+  return t;
+}
+
+void Session::add_dep(Task* succ, Task* pred) {
+  if (pred == nullptr || pred == succ) return;
+  EdgeLock lk(pred);
+  if (!pred->done.load(std::memory_order_relaxed)) {
+    succ->pending.fetch_add(1, std::memory_order_relaxed);
+    pred->succs.push_back(succ);
+  }
+}
+
+void Session::submit(Task* t) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (t->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(t);
+}
+
+void Session::enqueue(Task* t) {
+  const int lane = t_lane >= 0 ? t_lane : nlanes_ - 1;
+  {
+    std::lock_guard<std::mutex> lk(lanes_[static_cast<std::size_t>(lane)]->mu);
+    lanes_[static_cast<std::size_t>(lane)]->dq.push_back(t);
+  }
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: a thread between its predicate check and its
+    // wait either holds mu_ (we serialize after it and it re-checks) or is
+    // already waiting (notify reaches it).  No lost wakeups.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
+  }
+}
+
+Session::Task* Session::try_pop(int lane) {
+  Task* t = nullptr;
+  {
+    Lane& own = *lanes_[static_cast<std::size_t>(lane)];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.dq.empty()) {
+      t = own.dq.back();
+      own.dq.pop_back();
+    }
+  }
+  if (t == nullptr) {
+    for (int k = 1; k < nlanes_ && t == nullptr; ++k) {
+      Lane& victim = *lanes_[static_cast<std::size_t>((lane + k) % nlanes_)];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.dq.empty()) {
+        t = victim.dq.front();  // steal the oldest: likely a chain head
+        victim.dq.pop_front();
+        g_steals.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (t != nullptr) queued_.fetch_sub(1, std::memory_order_relaxed);
+  return t;
+}
+
+void Session::execute_task(Task* t) {
+  const bool prev = detail::t_in_graph_task;
+  detail::t_in_graph_task = true;
+  try {
+    t->fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  detail::t_in_graph_task = prev;
+  g_tasks.fetch_add(1, std::memory_order_relaxed);
+  if (t->chained) g_chained_tasks.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Task*> succs;
+  {
+    EdgeLock lk(t);
+    t->done.store(true, std::memory_order_relaxed);
+    succs.swap(t->succs);
+  }
+  for (Task* s : succs)
+    if (s->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(s);
+  finish_one();
+}
+
+void Session::finish_one() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
+  }
+}
+
+void Session::worker_loop(int lane) {
+  t_lane = lane;
+  for (;;) {
+    if (Task* t = try_pop(lane)) {
+      execute_task(t);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_.load(std::memory_order_relaxed)) break;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [&] {
+      return closed_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  t_lane = -1;
+}
+
+void Session::sync() {
+  const int lane = nlanes_ - 1;  // the driving thread's lane
+  for (;;) {
+    if (Task* t = try_pop(lane)) {
+      execute_task(t);
+      continue;
+    }
+    if (outstanding_.load(std::memory_order_acquire) == 0) break;
+    std::unique_lock<std::mutex> lk(mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  chain_domain_ = nullptr;
+  chain_last_.clear();
+  arena_.clear();
+  g_syncs.fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    e = error_;
+    error_ = nullptr;
+  }
+  if (e) std::rethrow_exception(e);
+}
+
+void Session::chain_stage(const void* domain, int n,
+                          std::function<void(int)> fn) {
+  if (chain_domain_ != domain || static_cast<int>(chain_last_.size()) != n) {
+    sync();
+    chain_domain_ = domain;
+    chain_last_.assign(static_cast<std::size_t>(n), nullptr);
+  }
+  auto shared = std::make_shared<std::function<void(int)>>(std::move(fn));
+  // Wire every edge before releasing any task, so a fast rank can never
+  // observe a half-built stage.
+  for (int r = 0; r < n; ++r) {
+    Task* t = create([shared, r] { (*shared)(r); });
+    t->chained = true;
+    add_dep(t, chain_last_[static_cast<std::size_t>(r)]);
+    chain_last_[static_cast<std::size_t>(r)] = t;
+  }
+  for (int r = 0; r < n; ++r) submit(chain_last_[static_cast<std::size_t>(r)]);
+  g_chained_stages.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Session::run_sync(int n, const std::function<void(int)>& fn) {
+  sync();  // a barrier stage observes every chained predecessor
+  if (n <= 0) return;
+  g_stages.fetch_add(1, std::memory_order_relaxed);
+  // Claim-loop stage, like ThreadPool::run but on the resident lanes: one
+  // shared index counter, one claim task per helper lane.
+  std::atomic<int> next{0};
+  auto claim = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  const int helpers = std::min(nlanes_ - 1, n - 1);
+  for (int h = 0; h < helpers; ++h) submit(create(claim));
+  const bool prev = detail::t_in_graph_task;
+  detail::t_in_graph_task = true;
+  try {
+    claim();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  detail::t_in_graph_task = prev;
+  sync();  // joins the helpers and rethrows the stage's first error
+}
+
+GraphRegion::GraphRegion(bool enable) {
+  if (!enable || in_pool_task() || detail::t_graph_session != nullptr) return;
+  (void)g_hook_installed;
+  session_ = std::make_unique<Session>(host_pool());
+  detail::t_graph_session = session_.get();
+  uncaught_ = std::uncaught_exceptions();
+}
+
+GraphRegion::~GraphRegion() noexcept(false) {
+  if (!session_) return;
+  detail::t_graph_session = nullptr;
+  if (std::uncaught_exceptions() > uncaught_) {
+    // Unwinding through the region: drain for safety, swallow task errors
+    // (the in-flight exception wins).
+    try {
+      session_->close();
+    } catch (...) {
+    }
+    session_.reset();
+    return;
+  }
+  try {
+    session_->close();
+  } catch (...) {
+    session_.reset();
+    throw;
+  }
+  session_.reset();
+}
+
+}  // namespace v2d::task_graph

@@ -5,24 +5,34 @@
 /// Ranks own disjoint tiles and disjoint clock/ledger slots, so executing
 /// them concurrently must change *nothing* observable: fields, per-rank
 /// ledgers and simulated clocks are compared exactly (==, not near)
-/// between --host-threads 1 and 4+ runs, in both VLA exec modes.
+/// between --host-threads 1 and 4+ runs, in both VLA exec modes.  The
+/// same contract covers --host-sched: the dependency-scheduled graph
+/// executor (HostSchedTest) must match the barrier pool and the serial
+/// path bit-for-bit across vla-exec backends, fuse modes, a hydro
+/// scenario and a mixed farm.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/v2d.hpp"
+#include "farm/farm.hpp"
 #include "grid/decomp.hpp"
 #include "grid/grid2d.hpp"
 #include "linalg/dist_vector.hpp"
 #include "linalg/exec_context.hpp"
+#include "sim_capture.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
 namespace v2d {
 namespace {
+
+using testutil::SimCapture;
 
 // --- thread pool -------------------------------------------------------------
 
@@ -112,15 +122,9 @@ TEST(RankParallelTest, DotGangedInvariantUnderThreadCount) {
   set_host_threads(0);
 }
 
-struct RunCapture {
-  std::vector<double> field;
-  // Per profile, per rank.
-  std::vector<std::vector<double>> clocks;
-  std::vector<std::vector<sim::CostLedger>> ledgers;
-};
-
-RunCapture run_simulation(int host_threads, const std::string& vla_exec,
-                          int steps) {
+/// The 16-rank radiation run every identity test below is built from.
+core::RunConfig pulse_config(int host_threads, const std::string& vla_exec,
+                             int steps) {
   core::RunConfig cfg;
   cfg.nx1 = 64;
   cfg.nx2 = 32;
@@ -133,90 +137,143 @@ RunCapture run_simulation(int host_threads, const std::string& vla_exec,
   cfg.compilers = {"cray", "gnu"};
   cfg.vla_exec = vla_exec;
   cfg.host_threads = host_threads;
+  return cfg;
+}
+
+SimCapture run_config(const core::RunConfig& cfg) {
   core::Simulation sim(cfg);
   sim.run();
-  RunCapture out;
-  out.field = sim.radiation().field().gather_global();
-  const auto& em = sim.exec();
-  out.clocks.resize(em.nprofiles());
-  out.ledgers.resize(em.nprofiles());
-  for (std::size_t p = 0; p < em.nprofiles(); ++p) {
-    for (int r = 0; r < em.nranks(); ++r) {
-      out.clocks[p].push_back(em.rank_time(p, r));
-      out.ledgers[p].push_back(em.ledger(p, r));
-    }
-  }
+  const SimCapture out = testutil::capture(sim);
+  set_host_threads(0);
   return out;
-}
-
-void expect_counts_equal(const sim::KernelCounts& a, const sim::KernelCounts& b,
-                         const std::string& where) {
-  for (std::size_t i = 0; i < sim::kNumOpClasses; ++i) {
-    EXPECT_EQ(a.instr[i], b.instr[i]) << where << " instr[" << i << "]";
-    EXPECT_EQ(a.lanes[i], b.lanes[i]) << where << " lanes[" << i << "]";
-  }
-  EXPECT_EQ(a.bytes_read, b.bytes_read) << where;
-  EXPECT_EQ(a.bytes_written, b.bytes_written) << where;
-  EXPECT_EQ(a.elements, b.elements) << where;
-  EXPECT_EQ(a.calls, b.calls) << where;
-}
-
-void expect_ledgers_equal(const sim::CostLedger& a, const sim::CostLedger& b,
-                          const std::string& where) {
-  ASSERT_EQ(a.regions().size(), b.regions().size()) << where;
-  auto ia = a.regions().begin();
-  auto ib = b.regions().begin();
-  for (; ia != a.regions().end(); ++ia, ++ib) {
-    ASSERT_EQ(ia->first, ib->first) << where;
-    const std::string at = where + "/" + ia->first;
-    const sim::RegionCost& ra = ia->second;
-    const sim::RegionCost& rb = ib->second;
-    EXPECT_EQ(ra.compute_cycles, rb.compute_cycles) << at;
-    EXPECT_EQ(ra.memory_cycles, rb.memory_cycles) << at;
-    EXPECT_EQ(ra.overhead_cycles, rb.overhead_cycles) << at;
-    EXPECT_EQ(ra.total_cycles, rb.total_cycles) << at;
-    EXPECT_EQ(ra.comm_seconds, rb.comm_seconds) << at;
-    EXPECT_EQ(ra.comm_messages, rb.comm_messages) << at;
-    EXPECT_EQ(ra.comm_bytes, rb.comm_bytes) << at;
-    expect_counts_equal(ra.counts, rb.counts, at);
-  }
-}
-
-void expect_runs_identical(const RunCapture& serial, const RunCapture& par,
-                           const std::string& label) {
-  ASSERT_EQ(serial.field.size(), par.field.size());
-  for (std::size_t i = 0; i < serial.field.size(); ++i)
-    ASSERT_EQ(serial.field[i], par.field[i])
-        << label << " field zone " << i;
-  ASSERT_EQ(serial.clocks.size(), par.clocks.size());
-  for (std::size_t p = 0; p < serial.clocks.size(); ++p) {
-    for (std::size_t r = 0; r < serial.clocks[p].size(); ++r) {
-      EXPECT_EQ(serial.clocks[p][r], par.clocks[p][r])
-          << label << " profile " << p << " rank " << r;
-      expect_ledgers_equal(serial.ledgers[p][r], par.ledgers[p][r],
-                           label + " p" + std::to_string(p) + " r" +
-                               std::to_string(r));
-    }
-  }
 }
 
 /// The acceptance criterion: a radiation run on 16 simulated ranks with
 /// --host-threads 1 vs 4+ produces identical field results, identical
 /// per-rank ledgers and identical simulated clocks.
 TEST(RankParallelTest, RadiationRunBitIdenticalAcrossHostThreads) {
-  const RunCapture serial = run_simulation(1, "native", 2);
-  const RunCapture par4 = run_simulation(4, "native", 2);
-  expect_runs_identical(serial, par4, "native@4");
-  const RunCapture par_hw = run_simulation(0, "native", 2);
-  expect_runs_identical(serial, par_hw, "native@hw");
-  set_host_threads(0);
+  const SimCapture serial = run_config(pulse_config(1, "native", 2));
+  const SimCapture par4 = run_config(pulse_config(4, "native", 2));
+  testutil::expect_captures_identical(serial, par4, "native@4");
+  const SimCapture par_hw = run_config(pulse_config(0, "native", 2));
+  testutil::expect_captures_identical(serial, par_hw, "native@hw");
 }
 
 TEST(RankParallelTest, InterpretModeBitIdenticalAcrossHostThreads) {
-  const RunCapture serial = run_simulation(1, "interpret", 1);
-  const RunCapture par = run_simulation(4, "interpret", 1);
-  expect_runs_identical(serial, par, "interpret@4");
+  const SimCapture serial = run_config(pulse_config(1, "interpret", 1));
+  const SimCapture par = run_config(pulse_config(4, "interpret", 1));
+  testutil::expect_captures_identical(serial, par, "interpret@4");
+}
+
+// --- host scheduler (--host-sched graph) --------------------------------------
+
+/// The graph scheduler's acceptance criterion: dependency-scheduled
+/// execution with halo/compute overlap matches both the barrier pool and
+/// the serial path bit-for-bit, in both VLA exec backends.
+TEST(HostSchedTest, GraphBitIdenticalToBarrierAndSerial) {
+  for (const char* mode : {"native", "interpret"}) {
+    const std::string vla_exec(mode);
+    const int steps = vla_exec == "native" ? 2 : 1;
+    const SimCapture ref = run_config(pulse_config(1, vla_exec, steps));
+
+    core::RunConfig graph1 = pulse_config(1, vla_exec, steps);
+    graph1.host_sched = "graph";
+    testutil::expect_captures_identical(ref, run_config(graph1),
+                                        vla_exec + "+graph@1");
+
+    core::RunConfig graph4 = pulse_config(4, vla_exec, steps);
+    graph4.host_sched = "graph";
+    testutil::expect_captures_identical(ref, run_config(graph4),
+                                        vla_exec + "+graph@4");
+  }
+}
+
+/// Fused kernels reshape the per-iteration task graph (fewer, bigger
+/// nodes; planner groups under --fuse plan): every fuse mode must stay
+/// bit-identical between schedulers.
+TEST(HostSchedTest, FuseModesBitIdenticalUnderGraph) {
+  for (const char* fuse : {"off", "on", "plan"}) {
+    core::RunConfig barrier = pulse_config(1, "native", 2);
+    barrier.nx1 = 48;
+    barrier.nx2 = 24;
+    barrier.nprx1 = 2;
+    barrier.nprx2 = 2;
+    barrier.fuse = fuse;
+    core::RunConfig graph = barrier;
+    graph.host_threads = 4;
+    graph.host_sched = "graph";
+    testutil::expect_captures_identical(
+        run_config(barrier), run_config(graph),
+        std::string("fuse=") + fuse + "+graph@4");
+  }
+}
+
+/// Hydro sweeps pipeline through the session (the x1 sweep's exchange is
+/// the join the x2 sweep chains after); the coupled radhydro scenario
+/// pins field, clock and ledger identity for that path.
+TEST(HostSchedTest, HydroScenarioBitIdenticalUnderGraph) {
+  core::RunConfig barrier;
+  barrier.problem = "sedov-radhydro";
+  barrier.nx1 = 32;
+  barrier.nx2 = 32;
+  barrier.steps = 2;
+  barrier.nprx1 = 2;
+  barrier.nprx2 = 2;
+  barrier.host_threads = 1;
+  core::RunConfig graph = barrier;
+  graph.host_threads = 4;
+  graph.host_sched = "graph";
+  testutil::expect_captures_identical(run_config(barrier), run_config(graph),
+                                      "sedov+graph@4");
+}
+
+/// A farm mixing graph- and barrier-scheduled jobs matches each job's
+/// solo run exactly.  Inside a farmed pool task GraphRegion keeps inline
+/// semantics, so this also pins that the scheduler knob never perturbs
+/// results regardless of where the job lands.
+TEST(HostSchedTest, MixedFarmBitIdenticalToSolo) {
+  std::vector<farm::FarmJob> jobs;
+
+  core::RunConfig pulse = pulse_config(1, "native", 2);
+  pulse.nx1 = 48;
+  pulse.nx2 = 24;
+  pulse.nprx1 = 2;
+  pulse.nprx2 = 2;
+  jobs.push_back({"pulse-barrier", pulse});
+
+  core::RunConfig pulse_graph = pulse;
+  pulse_graph.host_sched = "graph";
+  jobs.push_back({"pulse-graph", pulse_graph});
+
+  core::RunConfig relax;
+  relax.problem = "two-species-relax";
+  relax.nx1 = 24;
+  relax.nx2 = 24;
+  relax.steps = 2;
+  relax.fuse = "on";
+  relax.host_sched = "graph";
+  relax.host_threads = 1;
+  jobs.push_back({"relax-graph-fused", relax});
+
+  std::vector<SimCapture> solo;
+  solo.reserve(jobs.size());
+  for (const auto& j : jobs) solo.push_back(run_config(j.cfg));
+
+  farm::FarmOptions opt;
+  opt.host_threads = 3;
+  std::vector<SimCapture> farmed(jobs.size());
+  opt.on_job_complete = [&farmed](std::size_t i, core::Simulation& sim) {
+    farmed[i] = testutil::capture(sim);
+  };
+  farm::FarmScheduler sched(opt);
+  for (const auto& j : jobs) sched.add(j);
+  const farm::FarmSummary sum = sched.run();
   set_host_threads(0);
+  ASSERT_EQ(sum.failed, 0u);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    testutil::expect_captures_identical(solo[i], farmed[i],
+                                        jobs[i].name + "@farm");
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+/// \file test_task_graph.cpp
+/// \brief The dependency-scheduled host executor (--host-sched graph):
+/// counter correctness, chain ordering, join semantics, error paths.
+///
+/// These are scheduler unit tests — the simulation-level bit-identity
+/// contract (graph vs barrier vs serial) is pinned in
+/// test_rank_parallel.cpp.  Every test sweeps 1, 2 and 8 host threads:
+/// a driving thread alone, one worker lane, and oversubscription on the
+/// test runner, because the interesting races only exist off the serial
+/// path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/task_graph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace v2d {
+namespace {
+
+/// Serial, one worker, oversubscribed.
+constexpr int kThreadSweep[] = {1, 2, 8};
+
+// --- dependency counters ------------------------------------------------------
+
+/// A diamond A -> {B, C} -> D: every edge must hold, at any lane count,
+/// and D runs exactly once even though two predecessors release it.
+TEST(TaskGraphTest, DependencyCountersGateADiamond) {
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    for (int rep = 0; rep < 50; ++rep) {
+      std::atomic<bool> a_done{false}, b_done{false}, c_done{false};
+      std::atomic<int> d_runs{0};
+      auto* a = ses->create([&] { a_done.store(true); });
+      auto* b = ses->create([&] {
+        EXPECT_TRUE(a_done.load()) << "threads=" << threads;
+        b_done.store(true);
+      });
+      auto* c = ses->create([&] {
+        EXPECT_TRUE(a_done.load()) << "threads=" << threads;
+        c_done.store(true);
+      });
+      auto* d = ses->create([&] {
+        EXPECT_TRUE(b_done.load()) << "threads=" << threads;
+        EXPECT_TRUE(c_done.load()) << "threads=" << threads;
+        d_runs.fetch_add(1);
+      });
+      ses->add_dep(b, a);
+      ses->add_dep(c, a);
+      ses->add_dep(d, b);
+      ses->add_dep(d, c);
+      ses->submit(a);
+      ses->submit(b);
+      ses->submit(c);
+      ses->submit(d);
+      ses->sync();
+      EXPECT_EQ(d_runs.load(), 1);
+    }
+  }
+  set_host_threads(0);
+}
+
+// --- chained stages -----------------------------------------------------------
+
+/// Stage s of rank r depends only on stage s-1 of rank r: each rank sees
+/// its stages in submission order with no cross-rank barrier.  Unsynchronized
+/// per-rank vectors double as the race detector — a missing edge corrupts
+/// them (and trips TSan in the sanitizer job).
+TEST(TaskGraphTest, ChainedStagesRunInOrderPerRank) {
+  constexpr int kRanks = 5;
+  constexpr int kStages = 64;
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int domain = 0;
+    std::vector<std::vector<int>> seen(kRanks);
+    for (int s = 0; s < kStages; ++s)
+      ses->chain_stage(&domain, kRanks, [&seen, s](int r) {
+        seen[static_cast<std::size_t>(r)].push_back(s);
+      });
+    ses->sync();
+    for (int r = 0; r < kRanks; ++r) {
+      const auto& v = seen[static_cast<std::size_t>(r)];
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(kStages))
+          << "threads=" << threads << " rank " << r;
+      for (int s = 0; s < kStages; ++s)
+        EXPECT_EQ(v[static_cast<std::size_t>(s)], s)
+            << "threads=" << threads << " rank " << r;
+    }
+  }
+  set_host_threads(0);
+}
+
+/// Switching chain domains (or rank counts) is a join: the first stage on
+/// the new domain observes every task of the old one.
+TEST(TaskGraphTest, ChainDomainSwitchIsAJoin) {
+  constexpr int kRanks = 4;
+  constexpr int kStages = 16;
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int dom_a = 0;
+    const int dom_b = 0;
+    std::atomic<int> done_a{0};
+    for (int s = 0; s < kStages; ++s)
+      ses->chain_stage(&dom_a, kRanks, [&done_a](int) { done_a.fetch_add(1); });
+    ses->chain_stage(&dom_b, kRanks, [&done_a, threads](int) {
+      EXPECT_EQ(done_a.load(), kRanks * kStages) << "threads=" << threads;
+    });
+    ses->sync();
+  }
+  set_host_threads(0);
+}
+
+// --- join semantics -----------------------------------------------------------
+
+/// A barrier stage (parallel_for under an open session routes through
+/// Session::run_sync) drains all chained work first, and runs every index
+/// exactly once — the deterministic-join contract collectives rely on.
+TEST(TaskGraphTest, BarrierStageObservesChainedPredecessors) {
+  constexpr int kRanks = 4;
+  constexpr int kStages = 16;
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    ASSERT_NE(task_graph::current(), nullptr);
+    const int domain = 0;
+    std::atomic<int> chained{0};
+    for (int s = 0; s < kStages; ++s)
+      task_graph::current()->chain_stage(&domain, kRanks,
+                                         [&chained](int) { chained++; });
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(100, [&](int i) {
+      EXPECT_EQ(chained.load(), kRanks * kStages) << "threads=" << threads;
+      hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "threads=" << threads;
+  }
+  set_host_threads(0);
+}
+
+/// sync_current() from the driving thread is the same join; on worker
+/// threads and inside task bodies it must be a no-op (a task draining the
+/// graph it is part of would deadlock).
+TEST(TaskGraphTest, SyncCurrentJoinsFromTheDrivingThreadOnly) {
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int domain = 0;
+    std::atomic<int> ran{0};
+    ses->chain_stage(&domain, 4, [&ran](int) {
+      task_graph::sync_current();  // inside a task: must not self-join
+      ran.fetch_add(1);
+    });
+    task_graph::sync_current();
+    EXPECT_EQ(ran.load(), 4) << "threads=" << threads;
+  }
+  set_host_threads(0);
+}
+
+/// Nested parallel_for inside a graph task runs inline, like the thread
+/// pool's nested-run rule.
+TEST(TaskGraphTest, NestedParallelForRunsInlineInsideTasks) {
+  set_host_threads(4);
+  {
+    task_graph::GraphRegion region(true);
+    ASSERT_NE(task_graph::current(), nullptr);
+    std::vector<std::atomic<int>> hits(16);
+    parallel_for(4, [&](int outer) {
+      EXPECT_TRUE(task_graph::in_task());
+      parallel_for(4, [&](int inner) {
+        hits[static_cast<std::size_t>(4 * outer + inner)]++;
+      });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_FALSE(task_graph::in_task());
+  set_host_threads(0);
+}
+
+// --- error propagation --------------------------------------------------------
+
+/// A chained task's exception surfaces at the next join, and the session
+/// stays usable afterwards (mirrors ThreadPool::run semantics).
+TEST(TaskGraphTest, ChainedTaskErrorSurfacesAtTheNextJoin) {
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int domain = 0;
+    ses->chain_stage(&domain, 4, [](int r) {
+      if (r == 2) throw Error("chained task failure");
+    });
+    EXPECT_THROW(ses->sync(), Error) << "threads=" << threads;
+    std::atomic<int> count{0};
+    parallel_for(32, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 32) << "threads=" << threads;
+  }
+  set_host_threads(0);
+}
+
+TEST(TaskGraphTest, BarrierStageErrorPropagates) {
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    ASSERT_NE(task_graph::current(), nullptr);
+    EXPECT_THROW(parallel_for(64,
+                              [](int i) {
+                                if (i == 37) throw Error("stage failure");
+                              }),
+                 Error)
+        << "threads=" << threads;
+  }
+  set_host_threads(0);
+}
+
+// --- GraphRegion scoping ------------------------------------------------------
+
+TEST(TaskGraphTest, GraphRegionScopesAndNests) {
+  set_host_threads(2);
+  EXPECT_EQ(task_graph::current(), nullptr);
+  {
+    task_graph::GraphRegion off(false);
+    EXPECT_EQ(task_graph::current(), nullptr);  // disabled: plain barrier mode
+  }
+  {
+    task_graph::GraphRegion outer(true);
+    task_graph::Session* ses = task_graph::current();
+    EXPECT_NE(ses, nullptr);
+    {
+      task_graph::GraphRegion inner(true);
+      EXPECT_EQ(task_graph::current(), ses);  // nesting joins the outer session
+    }
+    EXPECT_EQ(task_graph::current(), ses);  // inner close leaves it open
+  }
+  EXPECT_EQ(task_graph::current(), nullptr);
+  set_host_threads(0);
+}
+
+/// A farmed job's solver opening a GraphRegion from inside a pool task
+/// must keep its inline semantics — capturing the pool's workers from one
+/// of the pool's own tasks would deadlock.
+TEST(TaskGraphTest, GraphRegionIsANoOpInsidePoolTasks) {
+  set_host_threads(4);
+  std::atomic<int> inline_count{0};
+  host_pool()->run(4, [&](int) {
+    task_graph::GraphRegion region(true);
+    if (task_graph::current() == nullptr) inline_count++;
+  });
+  EXPECT_EQ(inline_count.load(), 4);
+  set_host_threads(0);
+}
+
+// --- stats --------------------------------------------------------------------
+
+TEST(TaskGraphTest, StatsCountSessionsStagesAndTasks) {
+  set_host_threads(2);
+  const task_graph::SchedStats before = task_graph::stats();
+  {
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int domain = 0;
+    ses->chain_stage(&domain, 4, [](int) {});
+    parallel_for(8, [](int) {});
+  }
+  const task_graph::SchedStats d = task_graph::stats().since(before);
+  EXPECT_EQ(d.sessions, 1u);
+  EXPECT_EQ(d.chained_stages, 1u);
+  EXPECT_EQ(d.chained_tasks, 4u);
+  EXPECT_GE(d.stages, 1u);
+  EXPECT_GE(d.tasks, d.chained_tasks);
+  EXPECT_GE(d.syncs, 1u);
+  EXPECT_GT(d.overlap_ratio(), 0.0);
+  set_host_threads(0);
+}
+
+}  // namespace
+}  // namespace v2d

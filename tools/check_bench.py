@@ -38,6 +38,12 @@ floor it could have judged nor claim to have enforced one it couldn't.
 Fusion rows carry the same idea as "plan_gate": "enforced" on rows large
 enough for the planner host floor, "n/a" below it — re-derived here from
 the row's own n.
+
+rank_parallel rows are keyed by (threads, sched) — "sched" defaults to
+"barrier" for pre-graph baselines — and graph rows additionally carry a
+"graph_floor" marker: --host-sched graph must keep >= 95% of barrier's
+host throughput at the same thread count whenever the runner has >= 2
+cores.
 """
 
 import argparse
@@ -60,6 +66,11 @@ KERNELS_HOT = {"daxpy", "dprod", "matvec"}
 RANK_PARALLEL_GATE_THREADS = 4
 RANK_PARALLEL_GATE_SPEEDUP = 2.0
 RANK_PARALLEL_GATE_RANKS = 16
+# --host-sched graph must keep >= 95% of barrier's host throughput at the
+# same thread count, judged only with >= 2 host cores (on one core the
+# ratio is scheduling noise).
+RANK_PARALLEL_GRAPH_FLOOR = 0.95
+RANK_PARALLEL_GRAPH_CORES = 2
 FARM_GATE_JOBS = 8
 FARM_GATE_SPEEDUP = 1.3
 FARM_GATE_CORES = 2
@@ -183,13 +194,18 @@ def check_kernels(current, baseline, tol):
 
 def check_rank_parallel(current, baseline, tol):
     errors = []
-    cur = index(current, ("threads",))
-    base = index(baseline, ("threads",))
+    # Rows are keyed by (threads, sched); pre-graph baselines carry no
+    # "sched" field and mean the barrier engine.
+    def rp_key(row):
+        return (row["threads"], row.get("sched", "barrier"))
+
+    cur = {rp_key(r): r for r in current}
+    base = {rp_key(r): r for r in baseline}
     missing = set(base) - set(cur)
     if missing:
         errors.append(f"rows missing from current run: {sorted(missing)}")
     for key, row in sorted(cur.items()):
-        tag = f"rank_parallel threads={key[0]}"
+        tag = f"rank_parallel threads={key[0]}/{key[1]}"
         # The engine's invariant: bit-identical fields and simulated clocks
         # at any host-thread count.
         if not row["identical"]:
@@ -209,6 +225,21 @@ def check_rank_parallel(current, baseline, tol):
                     f"< floor {RANK_PARALLEL_GATE_SPEEDUP}")
         else:
             check_gate_marker(row, tag, "n/a", errors)
+        # The graph-vs-barrier regression floor, re-derived from the row's
+        # own host_cores: a graph row must keep >= 95% of its barrier
+        # sibling's throughput whenever the host can actually schedule.
+        if key[1] == "graph":
+            expected = ("enforced"
+                        if row["host_cores"] >= RANK_PARALLEL_GRAPH_CORES
+                        else "skipped")
+            check_gate_marker(row, tag, expected, errors,
+                              field="graph_floor")
+            if (expected == "enforced"
+                    and row["vs_barrier"] < RANK_PARALLEL_GRAPH_FLOOR):
+                errors.append(
+                    f"{tag}: graph kept only {row['vs_barrier']:.2f}x of "
+                    f"barrier's throughput, floor "
+                    f"{RANK_PARALLEL_GRAPH_FLOOR}")
         ref = base.get(key)
         if ref is None:
             continue
