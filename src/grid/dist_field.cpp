@@ -219,6 +219,47 @@ std::vector<mpisim::Transfer> DistField::exchange_ghosts_full() {
   return transfers;
 }
 
+std::vector<mpisim::Transfer> DistField::ghost_transfer_plan_full() const {
+  const auto& topo = dec_->topology();
+  std::vector<mpisim::Transfer> out;
+  // Phase 1: x1-direction columns over the interior rows.
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (const auto dir : {Dir::West, Dir::East}) {
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      out.push_back(mpisim::Transfer{
+          *nb, r,
+          static_cast<std::uint64_t>(e.nj) * ns_ * ng_ * sizeof(double),
+          /*strided=*/true});
+    }
+  }
+  // Phase 2: x2-direction rows over the padded width (corners ride along).
+  for (int r = 0; r < dec_->nranks(); ++r) {
+    const TileExtent& e = dec_->extent(r);
+    for (const auto dir : {Dir::South, Dir::North}) {
+      const auto nb = topo.neighbor(r, dir);
+      if (!nb) continue;
+      out.push_back(mpisim::Transfer{
+          *nb, r,
+          static_cast<std::uint64_t>(e.ni + 2 * ng_) * ns_ * ng_ *
+              sizeof(double),
+          /*strided=*/false});
+    }
+  }
+  return out;
+}
+
+void DistField::copy_halo_full_x2(int rank) {
+  const auto& topo = dec_->topology();
+  const TileExtent& e = dec_->extent(rank);
+  for (const auto dir : {Dir::South, Dir::North}) {
+    const auto nb = topo.neighbor(rank, dir);
+    if (!nb) continue;
+    (void)copy_halo_strip(rank, *nb, dir, -ng_, e.ni + ng_);
+  }
+}
+
 void DistField::apply_bc(BcKind bc) {
   // Rank-parallel: each rank writes only its own boundary ghosts; the
   // periodic wrap-around reads other tiles' interiors, which stay

@@ -100,6 +100,21 @@ public:
   /// left to apply_bc().
   std::vector<mpisim::Transfer> exchange_ghosts_full();
 
+  /// The Transfer list exchange_ghosts_full() would return, computed
+  /// analytically — the full-exchange counterpart of
+  /// ghost_transfer_plan(), for task-graph callers that price the
+  /// corner-filling exchange up front and run the copies as overlap
+  /// tasks.  Identical order and byte counts to exchange_ghosts_full().
+  std::vector<mpisim::Transfer> ghost_transfer_plan_full() const;
+
+  /// One rank's share of exchange_ghosts_full()'s second phase: copy the
+  /// S/N ghost rows over the *padded* width so corner values arrive
+  /// through the face neighbours' already-filled ghost columns.  Writes
+  /// only `rank`'s own ghosts but reads the neighbours' interface rows
+  /// including their x1 ghosts — an overlap schedule must order this
+  /// after those ranks' x1-direction fills (copy_halo + apply_bc_dir).
+  void copy_halo_full_x2(int rank);
+
   /// Fill physical-boundary ghosts.
   void apply_bc(BcKind bc);
 

@@ -187,6 +187,18 @@ struct ExecContext {
   void allreduce(std::uint64_t bytes,
                  const std::string& region = "mpi_allreduce") {
     task_graph::sync_current();
+    allreduce_nosync(bytes, region);
+  }
+
+  /// Pipelined-reduction variant: prices the same collective stream but
+  /// skips the host-side drain.  Only valid when the caller has already
+  /// waited on a combine task that transitively covers every per-rank
+  /// kernel commit logically preceding this collective (dot_ganged's
+  /// partial tasks) — the priced ledgers are then identical to the
+  /// synced path while the chain state survives for speculative
+  /// next-stage submission.
+  void allreduce_nosync(std::uint64_t bytes,
+                        const std::string& region = "mpi_allreduce") {
     if (dag != nullptr) dag->barrier("allreduce");
     if (em != nullptr) em->allreduce(bytes, region);
   }

@@ -14,6 +14,11 @@ std::atomic<std::uint64_t> g_tasks{0};
 std::atomic<std::uint64_t> g_chained_tasks{0};
 std::atomic<std::uint64_t> g_steals{0};
 std::atomic<std::uint64_t> g_syncs{0};
+std::atomic<std::uint64_t> g_affinity_hits{0};
+std::atomic<std::uint64_t> g_combines{0};
+
+/// Affinity placement policy toggle (benches flip it between runs).
+std::atomic<bool> g_affinity{true};
 
 /// Lane index of the current thread within its session (-1 = the driving
 /// thread, which owns the last lane).
@@ -49,7 +54,17 @@ SchedStats stats() {
           g_tasks.load(std::memory_order_relaxed),
           g_chained_tasks.load(std::memory_order_relaxed),
           g_steals.load(std::memory_order_relaxed),
-          g_syncs.load(std::memory_order_relaxed)};
+          g_syncs.load(std::memory_order_relaxed),
+          g_affinity_hits.load(std::memory_order_relaxed),
+          g_combines.load(std::memory_order_relaxed)};
+}
+
+void set_affinity(bool on) {
+  g_affinity.store(on, std::memory_order_relaxed);
+}
+
+bool affinity_enabled() {
+  return g_affinity.load(std::memory_order_relaxed);
 }
 
 Session* current() {
@@ -116,7 +131,8 @@ void Session::submit(Task* t) {
 }
 
 void Session::enqueue(Task* t) {
-  const int lane = t_lane >= 0 ? t_lane : nlanes_ - 1;
+  const int lane =
+      t->home >= 0 ? t->home : (t_lane >= 0 ? t_lane : nlanes_ - 1);
   {
     std::lock_guard<std::mutex> lk(lanes_[static_cast<std::size_t>(lane)]->mu);
     lanes_[static_cast<std::size_t>(lane)]->dq.push_back(t);
@@ -142,11 +158,27 @@ Session::Task* Session::try_pop(int lane) {
     }
   }
   if (t == nullptr) {
-    for (int k = 1; k < nlanes_ && t == nullptr; ++k) {
-      Lane& victim = *lanes_[static_cast<std::size_t>((lane + k) % nlanes_)];
+    // Steal fallback for an idle lane: scan for the deepest victim queue
+    // and take its oldest task — the head of the longest backlog, the one
+    // whose tile has waited longest and is coldest in its home lane's
+    // cache anyway.  A victim emptied between the scan and the pop just
+    // returns null; the caller re-polls.
+    int best = -1;
+    std::size_t best_depth = 0;
+    for (int k = 1; k < nlanes_; ++k) {
+      const int v = (lane + k) % nlanes_;
+      Lane& victim = *lanes_[static_cast<std::size_t>(v)];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (victim.dq.size() > best_depth) {
+        best_depth = victim.dq.size();
+        best = v;
+      }
+    }
+    if (best >= 0) {
+      Lane& victim = *lanes_[static_cast<std::size_t>(best)];
       std::lock_guard<std::mutex> lk(victim.mu);
       if (!victim.dq.empty()) {
-        t = victim.dq.front();  // steal the oldest: likely a chain head
+        t = victim.dq.front();
         victim.dq.pop_front();
         g_steals.fetch_add(1, std::memory_order_relaxed);
       }
@@ -157,6 +189,8 @@ Session::Task* Session::try_pop(int lane) {
 }
 
 void Session::execute_task(Task* t) {
+  if (t->home >= 0 && t->home == (t_lane >= 0 ? t_lane : nlanes_ - 1))
+    g_affinity_hits.fetch_add(1, std::memory_order_relaxed);
   const bool prev = detail::t_in_graph_task;
   detail::t_in_graph_task = true;
   try {
@@ -171,8 +205,14 @@ void Session::execute_task(Task* t) {
   std::vector<Task*> succs;
   {
     EdgeLock lk(t);
-    t->done.store(true, std::memory_order_relaxed);
+    // seq_cst pairs with wait(): its waited-store / done-load against our
+    // done-store / waited-load below — at least one side sees the other.
+    t->done.store(true, std::memory_order_seq_cst);
     succs.swap(t->succs);
+  }
+  if (t->waited.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
   }
   for (Task* s : succs)
     if (s->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(s);
@@ -242,16 +282,74 @@ void Session::chain_stage(const void* domain, int n,
     chain_last_.assign(static_cast<std::size_t>(n), nullptr);
   }
   auto shared = std::make_shared<std::function<void(int)>>(std::move(fn));
+  const bool affine = affinity_enabled() && nlanes_ > 1;
   // Wire every edge before releasing any task, so a fast rank can never
   // observe a half-built stage.
   for (int r = 0; r < n; ++r) {
     Task* t = create([shared, r] { (*shared)(r); });
     t->chained = true;
+    if (affine) t->home = home_lane(domain, r);
     add_dep(t, chain_last_[static_cast<std::size_t>(r)]);
     chain_last_[static_cast<std::size_t>(r)] = t;
   }
   for (int r = 0; r < n; ++r) submit(chain_last_[static_cast<std::size_t>(r)]);
   g_chained_stages.fetch_add(1, std::memory_order_relaxed);
+}
+
+int Session::home_lane(const void* domain, int r) const {
+  // FNV-1a over the chain key (decomposition identity × rank): stable for
+  // a session's lifetime, spreads consecutive ranks across lanes, and
+  // keeps every stage of one rank's chain on the same lane.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(domain)));
+  mix(static_cast<std::uint64_t>(r));
+  return static_cast<int>(h % static_cast<std::uint64_t>(nlanes_));
+}
+
+Session::Task* Session::chain_combine(const void* domain,
+                                      std::function<void()> fn) {
+  if (chain_domain_ != domain || chain_last_.empty()) {
+    // No live chain to hang the combine off: degrade to the join-all the
+    // wave-1 scheduler performed here.
+    sync();
+    fn();
+    return nullptr;
+  }
+  Task* t = create(std::move(fn));
+  t->chained = true;
+  for (Task* pred : chain_last_) add_dep(t, pred);
+  submit(t);
+  g_combines.fetch_add(1, std::memory_order_relaxed);
+  return t;
+}
+
+void Session::wait(Task* t) {
+  if (t == nullptr) return;
+  const int lane = t_lane >= 0 ? t_lane : nlanes_ - 1;
+  for (;;) {
+    if (t->done.load(std::memory_order_acquire)) return;
+    if (Task* u = try_pop(lane)) {
+      execute_task(u);
+      continue;
+    }
+    // Publish interest before the final done check (pairs with the
+    // seq_cst done-store / waited-load in execute_task), then park.
+    t->waited.store(true, std::memory_order_seq_cst);
+    if (t->done.load(std::memory_order_seq_cst)) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    cv_.wait(lk, [&] {
+      return t->done.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void Session::run_sync(int n, const std::function<void(int)>& fn) {

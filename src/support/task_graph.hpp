@@ -13,12 +13,22 @@
 /// pool's workers become resident scheduler lanes (one work-stealing deque
 /// each) draining a graph of tasks with explicit dependency edges and
 /// atomic pending counters.  Per-rank kernel tasks of consecutive
-/// operations chain rank-to-rank without any global barrier; collectives
-/// (allreduce-backed dots, halo-exchange pricing) drain the graph first —
-/// they are join nodes by construction, exactly like the simulated
-/// machine's barriers.  Halo-exchange sites additionally split into
-/// boundary (ghost copy + BC) and interior (stencil) tasks so packing
-/// overlaps interior compute.
+/// operations chain rank-to-rank without any global barrier; serial field
+/// accessors and halo-exchange pricing drain the graph first — they are
+/// join nodes by construction, exactly like the simulated machine's
+/// barriers.  Halo-exchange sites additionally split into boundary (ghost
+/// copy + BC) and interior (stencil/sweep) tasks so packing overlaps
+/// interior compute.
+///
+/// Wave 2 adds locality and pipelining on top of that graph: chained
+/// per-rank tasks are *homed* to a stable lane (hash of chain domain ×
+/// rank) so a rank's kernel chain keeps its tile cache-hot, stealing
+/// degrades to an idle-lane fallback that takes the oldest task from the
+/// deepest queue, and the allreduce-backed dot reductions stop being
+/// join-alls — per-rank partial-accumulator tasks feed one rank-ordered
+/// compensated combine task (chain_combine/wait) that only the scalar's
+/// consumer waits on, while next-stage per-rank tasks submit behind the
+/// partials.
 ///
 /// Bit-identity: scheduling carries no numerical meaning here for the same
 /// reason the barrier pool is safe — rank tasks own disjoint tiles and
@@ -53,6 +63,8 @@ struct SchedStats {
   std::uint64_t chained_tasks = 0;  ///< tasks that ran without a barrier
   std::uint64_t steals = 0;         ///< tasks popped from another lane
   std::uint64_t syncs = 0;          ///< graph drains (join nodes)
+  std::uint64_t affinity_hits = 0;  ///< homed tasks that ran on their lane
+  std::uint64_t combines = 0;       ///< pipelined-reduction combine tasks
 
   /// Fraction of graph tasks that ran dependency-scheduled instead of
   /// inside a fork/join barrier — the overlap the scheduler buys.
@@ -62,6 +74,15 @@ struct SchedStats {
                  : 0.0;
   }
 
+  /// Fraction of homed (chained) tasks that executed on their home lane —
+  /// the cache-locality the affinity policy buys.  Steals + hits need not
+  /// cover all chained tasks: homes only exist while affinity is enabled.
+  double affinity_ratio() const {
+    return chained_tasks ? static_cast<double>(affinity_hits) /
+                               static_cast<double>(chained_tasks)
+                         : 0.0;
+  }
+
   SchedStats since(const SchedStats& earlier) const {
     return {sessions - earlier.sessions,
             stages - earlier.stages,
@@ -69,12 +90,22 @@ struct SchedStats {
             tasks - earlier.tasks,
             chained_tasks - earlier.chained_tasks,
             steals - earlier.steals,
-            syncs - earlier.syncs};
+            syncs - earlier.syncs,
+            affinity_hits - earlier.affinity_hits,
+            combines - earlier.combines};
   }
 };
 
 /// Snapshot the process-wide counters.
 SchedStats stats();
+
+/// Process-wide toggle for the task-affinity placement policy (default
+/// on).  When off, chained tasks enqueue on the submitting lane exactly
+/// like the original wave-1 scheduler — benches use this to run a
+/// `graph` vs `graph+affinity` comparison; sessions read the toggle at
+/// each stage, so flip it only between runs.
+void set_affinity(bool on);
+bool affinity_enabled();
 
 class Session {
 public:
@@ -85,9 +116,11 @@ public:
     std::function<void()> fn;
     std::atomic<int> pending{1};
     std::atomic<bool> done{false};
+    std::atomic<bool> waited{false};  ///< a wait() is (or was) parked on us
     std::atomic_flag edge_lock;  ///< guards succs/done (clear-initialized)
     std::vector<Task*> succs;
     bool chained = false;  ///< stats: ran outside a barrier stage
+    int home = -1;         ///< preferred lane (-1: submitter's lane)
   };
 
   /// Captures the pool's workers as resident lanes.  Construct only from
@@ -114,8 +147,30 @@ public:
 
   /// Chained per-rank stage: task r waits only for task r of the previous
   /// stage on the same chain domain (no global barrier).  A different
-  /// domain or rank count drains the graph first.
+  /// domain or rank count drains the graph first.  Under the affinity
+  /// policy task r is homed to home_lane(domain, r) so a rank's whole
+  /// chain runs on one lane and its tile stays cache-hot.
   void chain_stage(const void* domain, int n, std::function<void(int)> fn);
+
+  /// Combine node of a pipelined reduction: a single task depending on
+  /// every rank's current chain tail for `domain`, submitted WITHOUT
+  /// draining the graph and WITHOUT consuming the chain — later
+  /// chain_stage() calls on the same domain keep chaining rank-to-rank
+  /// behind the partial tasks, not behind the combine, so independent
+  /// next-stage work submits speculatively while only the scalar's true
+  /// consumer wait()s.  Falls back to sync() + an inline call (returning
+  /// null) when the domain has no live chain.
+  Task* chain_combine(const void* domain, std::function<void()> fn);
+
+  /// Help-execute until `t` (from chain_combine) completes, leaving the
+  /// chain state and arena intact.  Unlike sync() this waits only for
+  /// t's transitive predecessors, and defers any task error to the next
+  /// sync().  Driving thread only; null is a no-op.
+  void wait(Task* t);
+
+  /// The stable home lane the affinity policy assigns to rank `r` of
+  /// chain domain `domain` (exposed for tests and diagnostics).
+  int home_lane(const void* domain, int r) const;
 
   /// Drain the graph: execute/steal until nothing is outstanding, then
   /// rethrow the first task exception.  Join node for collectives.

@@ -208,6 +208,47 @@ TEST(HostSchedTest, FuseModesBitIdenticalUnderGraph) {
   }
 }
 
+/// Wave 2 pipelines reductions past the dot joins: per-rank partial
+/// tasks feed one rank-ordered compensated combine, and only the
+/// scalar's consumer waits on it.  Classic (unganged) BiCGSTAB dots take
+/// the same path as the ganged reductions and must stay bit-identical —
+/// fields, per-profile clocks and full ledgers — in both VLA backends.
+TEST(HostSchedTest, ClassicDotsBitIdenticalUnderGraph) {
+  for (const char* mode : {"native", "interpret"}) {
+    const std::string vla_exec(mode);
+    core::RunConfig barrier = pulse_config(1, vla_exec, 1);
+    barrier.nx1 = 48;
+    barrier.nx2 = 24;
+    barrier.nprx1 = 2;
+    barrier.nprx2 = 2;
+    barrier.ganged = false;
+    core::RunConfig graph = barrier;
+    graph.host_threads = 4;
+    graph.host_sched = "graph";
+    testutil::expect_captures_identical(run_config(barrier), run_config(graph),
+                                        vla_exec + "+classic+graph@4");
+  }
+}
+
+/// MgPrecond::apply opens its own GraphRegion; inside the Krylov
+/// solver's region it must join the outer session (region inside region)
+/// rather than deadlock or double-install the scheduler hook.  The
+/// V-cycle also exercises the overlapped corner-filling transfers and
+/// the chained smoother stages.
+TEST(HostSchedTest, MgPrecondRegionNestingBitIdenticalUnderGraph) {
+  for (const char* fuse : {"off", "on"}) {
+    core::RunConfig barrier = pulse_config(1, "native", 2);
+    barrier.preconditioner = "mg";
+    barrier.fuse = fuse;
+    core::RunConfig graph = barrier;
+    graph.host_threads = 4;
+    graph.host_sched = "graph";
+    testutil::expect_captures_identical(
+        run_config(barrier), run_config(graph),
+        std::string("mg+fuse=") + fuse + "+graph@4");
+  }
+}
+
 /// Hydro sweeps pipeline through the session (the x1 sweep's exchange is
 /// the join the x2 sweep chains after); the coupled radhydro scenario
 /// pins field, clock and ledger identity for that path.

@@ -265,6 +265,158 @@ TEST(TaskGraphTest, GraphRegionIsANoOpInsidePoolTasks) {
   set_host_threads(0);
 }
 
+// --- affinity -----------------------------------------------------------------
+
+/// The home lane of (domain, rank) is a pure function: stable across
+/// calls and always a valid lane, so a rank's whole chain lands on one
+/// lane for the session's lifetime.
+TEST(TaskGraphTest, HomeLanePlacementIsStablePerChainKey) {
+  set_host_threads(4);
+  {
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int dom = 0;
+    for (int r = 0; r < 64; ++r) {
+      const int h = ses->home_lane(&dom, r);
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, 4);
+      EXPECT_EQ(h, ses->home_lane(&dom, r));
+    }
+  }
+  set_host_threads(0);
+}
+
+/// Every chained task is homed, and executes either on its home lane
+/// (affinity hit) or via the idle-lane steal fallback — the two counters
+/// partition the chained tasks exactly.  Stealing must never reorder a
+/// rank's chain, so the per-rank stage order doubles as the correctness
+/// check for the fallback path.  At one thread there is a single lane:
+/// homes are disabled and nothing can be stolen.
+TEST(TaskGraphTest, AffinityHitsAndStealsPartitionChainedTasks) {
+  constexpr int kRanks = 6;
+  constexpr int kStages = 48;
+  ASSERT_TRUE(task_graph::affinity_enabled());  // default-on policy
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    const task_graph::SchedStats before = task_graph::stats();
+    std::vector<std::vector<int>> seen(kRanks);
+    {
+      task_graph::GraphRegion region(true);
+      task_graph::Session* ses = task_graph::current();
+      ASSERT_NE(ses, nullptr);
+      const int dom = 0;
+      for (int s = 0; s < kStages; ++s)
+        ses->chain_stage(&dom, kRanks, [&seen, s](int r) {
+          seen[static_cast<std::size_t>(r)].push_back(s);
+        });
+    }
+    const task_graph::SchedStats d = task_graph::stats().since(before);
+    EXPECT_EQ(d.chained_tasks, static_cast<std::uint64_t>(kRanks) * kStages)
+        << "threads=" << threads;
+    if (threads == 1) {
+      EXPECT_EQ(d.affinity_hits, 0u);
+      EXPECT_EQ(d.steals, 0u);
+    } else {
+      EXPECT_EQ(d.affinity_hits + d.steals, d.chained_tasks)
+          << "threads=" << threads;
+    }
+    for (int r = 0; r < kRanks; ++r) {
+      const auto& v = seen[static_cast<std::size_t>(r)];
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(kStages))
+          << "threads=" << threads << " rank " << r;
+      for (int s = 0; s < kStages; ++s)
+        EXPECT_EQ(v[static_cast<std::size_t>(s)], s)
+            << "threads=" << threads << " rank " << r;
+    }
+  }
+  set_host_threads(0);
+}
+
+/// set_affinity(false) restores the wave-1 submitter-lane placement: no
+/// task carries a home, so no affinity hits are ever counted.
+TEST(TaskGraphTest, AffinityToggleRestoresSubmitterPlacement) {
+  set_host_threads(4);
+  task_graph::set_affinity(false);
+  const task_graph::SchedStats before = task_graph::stats();
+  {
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int dom = 0;
+    for (int s = 0; s < 16; ++s) ses->chain_stage(&dom, 4, [](int) {});
+  }
+  const task_graph::SchedStats d = task_graph::stats().since(before);
+  EXPECT_EQ(d.chained_tasks, 64u);
+  EXPECT_EQ(d.affinity_hits, 0u);
+  task_graph::set_affinity(true);
+  EXPECT_TRUE(task_graph::affinity_enabled());
+  set_host_threads(0);
+}
+
+// --- pipelined reductions -----------------------------------------------------
+
+/// chain_combine depends on every rank's chain tail but does not consume
+/// the chain: the combine sees all partials (in rank order, at any thread
+/// count), a speculative next stage chains behind the partials rather
+/// than the combine, and wait() returns with the combined value ready.
+TEST(TaskGraphTest, ChainCombinePipelinesPastTheJoin) {
+  constexpr int kRanks = 4;
+  constexpr int kStages = 4;
+  for (const int threads : kThreadSweep) {
+    set_host_threads(threads);
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int dom = 0;
+    std::vector<double> partial(kRanks, 0.0);
+    for (int s = 0; s < kStages; ++s)
+      ses->chain_stage(&dom, kRanks, [&partial, s](int r) {
+        partial[static_cast<std::size_t>(r)] += (r + 1) * (s + 1);
+      });
+    double total = -1.0;
+    const task_graph::SchedStats before = task_graph::stats();
+    task_graph::Session::Task* combine =
+        ses->chain_combine(&dom, [&partial, &total] {
+          double t = 0.0;
+          for (int r = 0; r < kRanks; ++r)
+            t += partial[static_cast<std::size_t>(r)];
+          total = t;
+        });
+    ASSERT_NE(combine, nullptr) << "threads=" << threads;
+    EXPECT_EQ(task_graph::stats().since(before).combines, 1u);
+    // Speculative next stage: submits while the combine may still be
+    // pending, because it depends on the partials, not the combine.
+    std::atomic<int> after{0};
+    ses->chain_stage(&dom, kRanks, [&after](int) { after.fetch_add(1); });
+    ses->wait(combine);
+    // Σ_r (r+1) · Σ_s (s+1) = 10 · 10.
+    EXPECT_EQ(total, 100.0) << "threads=" << threads;
+    ses->sync();
+    EXPECT_EQ(after.load(), kRanks) << "threads=" << threads;
+  }
+  set_host_threads(0);
+}
+
+/// Without a live chain the combine degrades to a drained inline call: no
+/// task to wait on, and wait(nullptr) is a no-op.
+TEST(TaskGraphTest, ChainCombineWithoutALiveChainRunsInline) {
+  set_host_threads(2);
+  {
+    task_graph::GraphRegion region(true);
+    task_graph::Session* ses = task_graph::current();
+    ASSERT_NE(ses, nullptr);
+    const int dom = 0;
+    bool ran = false;
+    task_graph::Session::Task* t =
+        ses->chain_combine(&dom, [&ran] { ran = true; });
+    EXPECT_EQ(t, nullptr);
+    EXPECT_TRUE(ran);
+    ses->wait(nullptr);
+  }
+  set_host_threads(0);
+}
+
 // --- stats --------------------------------------------------------------------
 
 TEST(TaskGraphTest, StatsCountSessionsStagesAndTasks) {
